@@ -1,0 +1,54 @@
+"""Shared reporting helpers for the per-figure benchmarks.
+
+Each benchmark regenerates one figure of the paper: it prints the same
+rows/series the paper plots and also writes them to
+``benchmarks/results/<figure>.txt`` so the output survives pytest's
+capture.  Absolute numbers come from the calibrated simulator; the
+assertions in each benchmark check the *shape* the paper reports (who
+wins, by what factor, where crossovers fall) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(figure: str, title: str, header: Sequence[str],
+         rows: Iterable[Sequence]) -> str:
+    """Format, print, and persist one figure's table."""
+    lines: List[str] = [f"=== {figure}: {title} ==="]
+    widths = [max(len(str(h)), 12) for h in header]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    table = "\n".join(lines)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{figure}.txt")
+    with open(path, "w") as handle:
+        handle.write(table + "\n")
+    return table
+
+
+def kops(value: float) -> str:
+    """Format ops/s as thousands."""
+    return f"{value / 1e3:.1f}K"
+
+
+def us(value: float) -> str:
+    """Format seconds as microseconds."""
+    return f"{value * 1e6:.0f}us"
+
+
+def ms(value: float) -> str:
+    """Format seconds as milliseconds."""
+    return f"{value * 1e3:.2f}ms"
+
+
+def cores(value: float) -> str:
+    return f"{value:.2f}"

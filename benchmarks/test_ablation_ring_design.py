@@ -1,0 +1,114 @@
+"""Ablations on the DDS ring design (§4.1) — beyond the paper's figures.
+
+Two design choices DESIGN.md calls out:
+
+* **Maximum allowable progress (M)** — the batching hyperparameter.
+  Small M bounds how long a message can sit in a batch (latency) but
+  costs amortization (throughput); large M is the reverse.  The paper
+  exposes M but never sweeps it.
+* **Pointer layout** — Figure 7 places the progress pointer immediately
+  before the tail so the consumer's ``progress == tail`` check needs a
+  single DMA read.  The rejected layout (tail first) needs two
+  dependent DMA reads per poll cycle.
+"""
+
+from _tables import emit, us
+
+from repro.core import RingTransferModel
+from repro.sim import Environment
+from repro.structures import ProgressRing
+
+M_VALUES = (512, 1024, 4096)
+PRODUCERS = 16
+
+
+def run_max_progress():
+    results = {}
+    rows = []
+    for m in M_VALUES:
+        model = RingTransferModel(Environment(), "progress", PRODUCERS)
+        model.ring = ProgressRing(1 << 12, max_progress=m)
+        outcome = model.run(messages_per_producer=1200)
+        results[m] = outcome
+        rows.append(
+            (m, f"{outcome.rate / 1e6:.2f}M", us(outcome.median_latency))
+        )
+    emit(
+        "ablation_max_progress",
+        "max allowable progress (M): batching throughput vs latency",
+        ("M bytes", "msg/s", "median latency"),
+        rows,
+    )
+    return results
+
+
+def run_pointer_layout():
+    """Fetch-cycle cost of the two pointer layouts, measured on the
+    real :class:`DmaRingChannel`.
+
+    With progress-before-tail, one 64-byte DMA read covers both
+    pointers; with tail-before-progress the consumer issues two
+    dependent reads per cycle.
+    """
+    from repro.core import DmaRingChannel
+    from repro.hardware import DmaEngine
+
+    rows = []
+    results = {}
+    for batch_bytes in (256, 1024, 4096):
+        times = {}
+        for layout in ("progress-first", "tail-first"):
+            env = Environment()
+            channel = DmaRingChannel(
+                env, DmaEngine(env), pointer_layout=layout
+            )
+            message = bytes(8)
+            count = max(1, batch_bytes // 12)
+            for _ in range(count):
+                assert channel.try_insert(message)
+
+            def cycle():
+                batch = yield from channel.fetch_batch()
+                return batch
+
+            proc = env.process(cycle())
+            env.run(until=proc)
+            assert len(proc.value) == count
+            times[layout] = env.now
+        good, bad = times["progress-first"], times["tail-first"]
+        messages = max(1, batch_bytes // 12)
+        results[batch_bytes] = (messages / good, messages / bad)
+        rows.append(
+            (
+                batch_bytes,
+                us(good),
+                us(bad),
+                f"+{(bad / good - 1) * 100:.0f}%",
+            )
+        )
+    emit(
+        "ablation_pointer_layout",
+        "fetch-cycle cost: progress-before-tail vs tail-before-progress",
+        ("batch bytes", "P-before-T", "T-before-P", "cycle overhead"),
+        rows,
+    )
+    return results
+
+
+def test_ablation_max_progress(benchmark):
+    results = benchmark.pedantic(run_max_progress, rounds=1, iterations=1)
+    small, large = results[M_VALUES[0]], results[M_VALUES[-1]]
+    # Larger M buys throughput at the cost of batching latency.
+    assert large.rate > small.rate
+    assert large.median_latency > small.median_latency
+
+
+def test_ablation_pointer_layout(benchmark):
+    results = benchmark.pedantic(run_pointer_layout, rounds=1, iterations=1)
+    for batch_bytes, (good_rate, bad_rate) in results.items():
+        assert good_rate > bad_rate, batch_bytes
+    # The extra DMA op hurts most when batches are small.
+    overhead = {
+        b: (good / bad - 1) for b, (good, bad) in results.items()
+    }
+    assert overhead[256] > overhead[4096]

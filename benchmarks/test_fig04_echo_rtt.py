@@ -1,0 +1,48 @@
+"""Figure 4: responding to TCP messages on the host vs. on the DPU.
+
+Paper: a client echoes messages off a server with a BF-2; answering
+directly from the DPU roughly halves the round-trip latency across
+message sizes, because the NIC-to-host forwarding and the host kernel
+stack are skipped entirely.
+"""
+
+from _tables import emit, us
+
+from repro.bench import EchoBench
+from repro.sim import Environment
+
+SIZES = (64, 512, 1024, 4096, 16384)
+
+
+def run_figure():
+    rows = []
+    pairs = []
+    for size in SIZES:
+        host = EchoBench(Environment()).measure("host-os", size)
+        dpu = EchoBench(Environment()).measure("dpu-raw", size)
+        pairs.append((host, dpu))
+        rows.append(
+            (
+                size,
+                us(host.rtt),
+                us(dpu.rtt),
+                f"{host.rtt / dpu.rtt:.2f}x",
+            )
+        )
+    emit(
+        "fig04",
+        "echo RTT: host responder vs DPU responder",
+        ("msg bytes", "host RTT", "DPU RTT", "speedup"),
+        rows,
+    )
+    return pairs
+
+
+def test_fig04_echo_rtt(benchmark):
+    pairs = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for host, dpu in pairs:
+        # The DPU roughly halves latency (paper: ~2x across sizes).
+        assert 1.5 < host.rtt / dpu.rtt < 3.5, host.message_bytes
+    # RTT grows with message size on both paths.
+    host_rtts = [host.rtt for host, _dpu in pairs]
+    assert host_rtts == sorted(host_rtts)

@@ -1,0 +1,50 @@
+"""Figure 5: FASTER YCSB-RMW throughput on the host vs. on the DPU.
+
+Paper: FASTER runs up to 4.5x slower on the BF-2 than on the host and
+scales only to 8 threads (the Arm core count), while the host keeps
+scaling — the reason DDS executes update workloads on the host.
+"""
+
+from _tables import emit
+
+from repro.bench import run_rmw_scaling
+
+THREADS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def run_figure():
+    host = {
+        t: run_rmw_scaling("host", t, ops_per_thread=1200) for t in THREADS
+    }
+    dpu = {
+        t: run_rmw_scaling("dpu", t, ops_per_thread=1200) for t in THREADS
+    }
+    rows = [
+        (
+            t,
+            f"{host[t].throughput / 1e6:.2f}M",
+            f"{dpu[t].throughput / 1e6:.2f}M",
+            f"{host[t].throughput / dpu[t].throughput:.1f}x",
+        )
+        for t in THREADS
+    ]
+    emit(
+        "fig05",
+        "FASTER RMW throughput: host vs DPU",
+        ("threads", "host op/s", "DPU op/s", "host/DPU"),
+        rows,
+    )
+    return host, dpu
+
+
+def test_fig05_faster_rmw(benchmark):
+    host, dpu = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    # Up to ~4.5x slower on the DPU at matched thread counts (paper).
+    for threads in (1, 2, 4, 8):
+        ratio = host[threads].throughput / dpu[threads].throughput
+        assert 3.0 < ratio < 6.0, threads
+    # The DPU stops scaling at its 8 cores...
+    assert dpu[16].throughput < 1.1 * dpu[8].throughput
+    assert dpu[64].throughput < 1.1 * dpu[8].throughput
+    # ...while the host keeps scaling well past 8 threads.
+    assert host[32].throughput > 3.0 * host[8].throughput

@@ -1,0 +1,106 @@
+"""Figure 14: achieved throughput vs. host CPU cores consumed.
+
+Paper (reads, 1 KiB random): the baseline needs 10.7 cores for 390 K
+IOPS; the DDS file library reaches 580 K IOPS at 6.5 cores; full DPU
+offloading drives 730 K IOPS with approximately zero host cores.
+Writes: DDS's offload API does not cover writes, but the library path
+still saves >5 cores versus the baseline above 200 K IOPS.
+"""
+
+from _tables import cores, emit, kops
+
+from repro.bench import run_io_experiment
+
+READ_LOADS = (200e3, 400e3, 600e3, 800e3)
+WRITE_LOADS = (100e3, 200e3, 300e3, 400e3)
+
+
+def run_reads():
+    results = {}
+    rows = []
+    for kind in ("baseline", "dds-files", "dds-offload"):
+        series = [
+            run_io_experiment(kind, offered, total_requests=8000)
+            for offered in READ_LOADS
+        ]
+        results[kind] = series
+        for result in series:
+            rows.append(
+                (
+                    kind,
+                    kops(result.achieved_iops),
+                    cores(result.host_cores),
+                    cores(result.dpu_cores),
+                )
+            )
+    emit(
+        "fig14a",
+        "reads: throughput vs host CPU cores",
+        ("solution", "IOPS", "host cores", "dpu cores"),
+        rows,
+    )
+    return results
+
+
+def run_writes():
+    results = {}
+    rows = []
+    for kind in ("baseline", "dds-files"):
+        series = [
+            run_io_experiment(
+                kind, offered, total_requests=6000, read_fraction=0.0
+            )
+            for offered in WRITE_LOADS
+        ]
+        results[kind] = series
+        for result in series:
+            rows.append(
+                (
+                    kind,
+                    kops(result.achieved_iops),
+                    cores(result.host_cores),
+                    cores(result.dpu_cores),
+                )
+            )
+    emit(
+        "fig14b",
+        "writes: throughput vs host CPU cores",
+        ("solution", "IOPS", "host cores", "dpu cores"),
+        rows,
+    )
+    return results
+
+
+def test_fig14a_read_cpu_savings(benchmark):
+    results = benchmark.pedantic(run_reads, rounds=1, iterations=1)
+    baseline = results["baseline"][-1]
+    library = results["dds-files"][-1]
+    offload = results["dds-offload"][-1]
+    # Peak ordering: baseline ~390K < library ~580K < offload ~730K.
+    assert baseline.achieved_iops < library.achieved_iops
+    assert library.achieved_iops < offload.achieved_iops
+    assert 330e3 < baseline.achieved_iops < 460e3
+    assert 500e3 < library.achieved_iops < 660e3
+    assert 650e3 < offload.achieved_iops < 820e3
+    # Host CPU: baseline ~10 cores at peak; library clearly cheaper per
+    # IOPS; offloading eliminates host CPU.
+    assert 8 < baseline.host_cores < 14
+    per_iop_base = baseline.host_cores / baseline.achieved_iops
+    per_iop_lib = library.host_cores / library.achieved_iops
+    assert per_iop_lib < 0.65 * per_iop_base
+    assert offload.host_cores < 0.05
+    # The offload path runs within the BF-2's three dedicated Arm cores.
+    assert offload.dpu_cores < 3.0
+
+
+def test_fig14b_write_cpu_savings(benchmark):
+    results = benchmark.pedantic(run_writes, rounds=1, iterations=1)
+    baseline = results["baseline"][-1]
+    library = results["dds-files"][-1]
+    # Write peaks: baseline ~210K, DDS files ~290K.
+    assert 170e3 < baseline.achieved_iops < 250e3
+    assert 250e3 < library.achieved_iops < 330e3
+    # At ~200K write IOPS the library saves a meaningful number of cores.
+    base_200 = results["baseline"][1]
+    lib_200 = results["dds-files"][1]
+    assert base_200.host_cores - lib_200.host_cores > 1.5

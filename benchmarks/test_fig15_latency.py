@@ -1,0 +1,113 @@
+"""Figure 15: achieved throughput vs. p50/p99 latency.
+
+Paper (reads): at its 390 K peak the baseline's latency reaches ~11 ms;
+replacing the OS filesystem with DDS files cuts latency ~6x; full DPU
+offloading improves it by an order of magnitude (780 us at 730 K IOPS).
+Writes: the baseline's tail blows up to ~48 ms at 210 K, while DDS files
+holds ~3 ms at a *higher* 290 K IOPS.
+
+Latency at saturation is queueing-dominated, so the client windows are
+sized like the paper's load generator (deep outstanding queues at the
+peak operating points).
+"""
+
+from _tables import emit, kops, us
+
+from repro.bench import run_io_experiment
+
+#: (offered IOPS, outstanding messages) pairs per solution — the deep
+#: windows at the last points reproduce the paper's saturated tails.
+READ_POINTS = {
+    "baseline": [(200e3, 64, 8000), (350e3, 256, 8000), (460e3, 900, 22000)],
+    "dds-files": [(300e3, 64, 8000), (500e3, 256, 8000), (640e3, 180, 12000)],
+    "dds-offload": [
+        (300e3, 64, 8000),
+        (600e3, 128, 8000),
+        (800e3, 140, 12000),
+    ],
+}
+WRITE_POINTS = {
+    "baseline": [(120e3, 64, 6000), (180e3, 256, 6000), (280e3, 900, 16000)],
+    "dds-files": [(150e3, 64, 6000), (250e3, 128, 6000), (310e3, 180, 9000)],
+}
+
+
+def _run(points, read_fraction):
+    results = {}
+    rows = []
+    for kind, series in points.items():
+        measured = [
+            run_io_experiment(
+                kind,
+                offered,
+                total_requests=total,
+                read_fraction=read_fraction,
+                max_outstanding=window,
+            )
+            for offered, window, total in series
+        ]
+        results[kind] = measured
+        for result in measured:
+            rows.append(
+                (
+                    kind,
+                    kops(result.achieved_iops),
+                    us(result.p50),
+                    us(result.p99),
+                )
+            )
+    return results, rows
+
+
+def run_reads():
+    results, rows = _run(READ_POINTS, read_fraction=1.0)
+    emit(
+        "fig15a",
+        "reads: throughput vs latency",
+        ("solution", "IOPS", "p50", "p99"),
+        rows,
+    )
+    return results
+
+
+def run_writes():
+    results, rows = _run(WRITE_POINTS, read_fraction=0.0)
+    emit(
+        "fig15b",
+        "writes: throughput vs latency",
+        ("solution", "IOPS", "p50", "p99"),
+        rows,
+    )
+    return results
+
+
+def test_fig15a_read_latency(benchmark):
+    results = benchmark.pedantic(run_reads, rounds=1, iterations=1)
+    baseline = results["baseline"][-1]
+    library = results["dds-files"][-1]
+    offload = results["dds-offload"][-1]
+    # At saturation the baseline is in the milliseconds.
+    assert baseline.p50 > 2e-3
+    # DDS files: large latency cut at higher throughput (paper: ~6x).
+    assert library.achieved_iops > baseline.achieved_iops
+    assert library.p50 < baseline.p50 / 3
+    # Offloading: ~order-of-magnitude lower than the baseline, with sub-
+    # millisecond latency at >700K IOPS (paper: 780us at 730K).
+    assert offload.achieved_iops > 650e3
+    assert offload.p50 < 1e-3
+    assert baseline.p50 / offload.p50 > 6
+    # Within each solution, latency grows with load.
+    for series in results.values():
+        p50s = [r.p50 for r in series]
+        assert p50s == sorted(p50s)
+
+
+def test_fig15b_write_latency(benchmark):
+    results = benchmark.pedantic(run_writes, rounds=1, iterations=1)
+    baseline = results["baseline"][-1]
+    library = results["dds-files"][-1]
+    # The baseline write tail explodes at its ~210K peak...
+    assert baseline.p99 > 5e-3
+    # ...while DDS files achieves more IOPS at a far lower tail.
+    assert library.achieved_iops > baseline.achieved_iops
+    assert library.p99 < baseline.p99 / 3

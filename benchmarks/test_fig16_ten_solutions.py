@@ -1,0 +1,92 @@
+"""Figure 16: detailed comparison of ten storage solutions (§8.4).
+
+Paper: for random 1 KiB reads, (a) peak throughput, (b) total client +
+server CPU at peak, and (c) p50/p99 latency at peak, across local
+storage (Windows files ①, DDS files ②), SMB ③ / SMB Direct ④,
+TCP + Windows files ⑤, TCP + DDS files ⑥, Redy + Windows files ⑦,
+Redy + DDS files ⑧, DDS offloading with TCP ⑨ and with RDMA ⑩.
+
+Headline shapes: disaggregation over the traditional stack degrades
+everything (⑤ vs ①); SMB variants trail application-controlled
+disaggregation badly (③④ vs ⑤-⑩); once OS overhead is gone the
+disaggregated peak matches local storage (⑥-⑩ vs ②); Redy's speed
+costs always-on polling cores; DDS(RDMA) approaches local DDS.
+"""
+
+from _tables import cores, emit, kops, us
+
+from repro.bench import SOLUTIONS, find_peak
+
+START = {
+    "local-os": 250e3,
+    "local-dds": 400e3,
+    "smb": 100e3,
+    "smb-direct": 120e3,
+    "baseline": 250e3,
+    "dds-files": 400e3,
+    "redy-os": 250e3,
+    "redy-dds": 400e3,
+    "dds-offload": 400e3,
+    "dds-offload-rdma": 400e3,
+}
+
+
+def run_figure():
+    peaks = {}
+    rows = []
+    for kind in SOLUTIONS:
+        peak = find_peak(
+            kind,
+            start_iops=START[kind],
+            total_requests=6000,
+            max_outstanding=160,
+        )
+        peaks[kind] = peak
+        rows.append(
+            (
+                kind,
+                kops(peak.achieved_iops),
+                cores(peak.total_cores),
+                cores(peak.dpu_cores),
+                us(peak.p50),
+                us(peak.p99),
+            )
+        )
+    emit(
+        "fig16",
+        "ten solutions: peak IOPS, total CPU, latency at peak",
+        ("solution", "peak IOPS", "cpu (cl+srv)", "dpu", "p50", "p99"),
+        rows,
+    )
+    return peaks
+
+
+def test_fig16_ten_solutions(benchmark):
+    peaks = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    # (1) Traditional-stack disaggregation degrades peak throughput and
+    # adds CPU + latency over local access (paper: 5 vs 1).
+    assert peaks["baseline"].achieved_iops < peaks["local-os"].achieved_iops
+    assert peaks["baseline"].p50 > peaks["local-os"].p50
+    # (2) SMB variants are far below application-controlled solutions;
+    # SMB Direct beats SMB thanks to RDMA.
+    assert peaks["smb"].achieved_iops < peaks["smb-direct"].achieved_iops
+    assert (
+        peaks["smb-direct"].achieved_iops
+        < 0.7 * peaks["baseline"].achieved_iops
+    )
+    # (3) With OS overhead gone, disaggregated peaks match local DDS
+    # (paper: 6-10 vs 2, within ~15%).
+    local = peaks["local-dds"].achieved_iops
+    for kind in ("dds-files", "redy-dds", "dds-offload", "dds-offload-rdma"):
+        assert peaks[kind].achieved_iops > 0.75 * local, kind
+    # (4) Redy gets latency by burning polling cores on both machines.
+    assert peaks["redy-os"].total_cores > peaks["baseline"].total_cores - 2
+    assert peaks["redy-dds"].client_cores >= 1.0
+    # (5) DDS offloading erases server host CPU; the RDMA port has the
+    # lowest CPU of the disaggregated solutions and near-local latency.
+    assert peaks["dds-offload"].host_cores < 0.05
+    assert (
+        peaks["dds-offload-rdma"].total_cores
+        < peaks["dds-files"].total_cores
+    )
+    assert peaks["dds-offload-rdma"].p50 < 2.5 * peaks["local-dds"].p50

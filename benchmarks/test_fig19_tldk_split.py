@@ -1,0 +1,45 @@
+"""Figure 19: TLDK vs. Linux for TCP splitting on the DPU (§8.5).
+
+Paper: echoing through the SoC's Linux kernel TCP is *slower* than not
+offloading at all (host answer), because the kernel path is exacerbated
+by wimpy Arm cores.  The optimized TLDK userspace stack is ~3x faster
+than Linux-on-DPU, making offloading a ~2.5x win over the host answer.
+"""
+
+from _tables import emit, us
+
+from repro.bench import EchoBench
+from repro.sim import Environment
+
+SIZE = 64  # the experiment echoes small control messages
+
+
+def run_figure():
+    results = {
+        responder: EchoBench(Environment()).measure(responder, SIZE)
+        for responder in ("host-os", "dpu-linux", "dpu-tldk")
+    }
+    rows = [
+        (name, us(result.server_latency), us(result.rtt))
+        for name, result in results.items()
+    ]
+    emit(
+        "fig19",
+        "TCP-splitting echo: server-side latency by stack",
+        ("stack", "server latency", "RTT"),
+        rows,
+    )
+    return results
+
+
+def test_fig19_tldk_split(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    host = results["host-os"].server_latency
+    linux = results["dpu-linux"].server_latency
+    tldk = results["dpu-tldk"].server_latency
+    # Linux TCP on the DPU is worse than answering from the host.
+    assert linux > host
+    # TLDK is ~3x lower than Linux-on-DPU (paper: 3x)...
+    assert 2.2 < linux / tldk < 4.5
+    # ...and ~2-2.5x lower than the host answer (paper: 2.5x).
+    assert 1.5 < host / tldk < 3.5

@@ -1,0 +1,57 @@
+"""Figure 20: TLDK on the host vs. TLDK on the DPU, by message size.
+
+Paper (isolating userspace networking from DPU placement): the host's
+fat cores win for small messages, but once processing becomes
+memory-intensive the DPU wins — it avoids the NIC-to-host round trip
+and its NIC-adjacent memory is more efficient per byte [44, 63].
+This motivates running the traffic director on the DPU for data-system
+workloads (which move pages, not pings).
+"""
+
+from _tables import emit, us
+
+from repro.bench import EchoBench
+from repro.sim import Environment
+
+SIZES = (64, 1024, 4096, 16384, 65536)
+
+
+def run_figure():
+    results = {}
+    rows = []
+    for size in SIZES:
+        host = EchoBench(Environment()).measure("host-tldk", size)
+        dpu = EchoBench(Environment()).measure("dpu-tldk", size)
+        results[size] = (host, dpu)
+        winner = "host" if host.server_latency < dpu.server_latency else "dpu"
+        rows.append(
+            (
+                size,
+                us(host.server_latency),
+                us(dpu.server_latency),
+                winner,
+            )
+        )
+    emit(
+        "fig20",
+        "TLDK placement: host vs DPU server-side latency",
+        ("msg bytes", "host TLDK", "DPU TLDK", "winner"),
+        rows,
+    )
+    return results
+
+
+def test_fig20_host_vs_dpu_tldk(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    small_host, small_dpu = results[64]
+    large_host, large_dpu = results[65536]
+    # Small messages: the host's fast cores win despite the PCIe hop.
+    assert small_host.server_latency < small_dpu.server_latency
+    # Large (memory-intensive) messages: the DPU wins.
+    assert large_dpu.server_latency < large_host.server_latency
+    # The crossover falls somewhere inside the measured range.
+    winners = [
+        "host" if host.server_latency < dpu.server_latency else "dpu"
+        for host, dpu in results.values()
+    ]
+    assert winners[0] == "host" and winners[-1] == "dpu"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Beyond the paper: DPU accelerators, caching, and tenant isolation.
+
+The paper's conclusion (§11) proposes exploiting the DPU's hardware
+engines, and its related-work section (§10) points at DPU caching
+(Xenic) and multi-tenant isolation (Gimbal) as natural extensions.
+All four are implemented in ``repro.extensions``; this script runs each
+one's headline experiment:
+
+1. compressed page serving — the deflate engine decompresses offloaded
+   reads at line rate;
+2. string-operator pushdown — the regex engine filters records where
+   they live;
+3. a DPU-memory read cache under Zipfian skew;
+4. deficit-round-robin tenant isolation under a bursty neighbour.
+
+Run:  python examples/accelerated_dpu.py
+"""
+
+from repro.extensions import (
+    run_compressed_read_experiment,
+    run_dpu_cache_experiment,
+    run_multitenant_experiment,
+    run_pushdown_experiment,
+)
+
+
+def compression_demo() -> None:
+    print("-- 1. compressed page serving (8 KiB pages, ~4.7x ratio) --")
+    for mode in ("none", "software", "accel"):
+        result = run_compressed_read_experiment(mode, pages=96, reads=960)
+        print(
+            f"  {mode:9s} {result.throughput / 1e3:7.1f}K pages/s  "
+            f"{result.mean_latency * 1e6:5.0f}us  "
+            f"{result.ssd_bytes_per_page:5.0f} SSD B/page"
+        )
+    print("  -> hardware decompression keeps full speed; Arm cores can't\n")
+
+
+def pushdown_demo() -> None:
+    print("-- 2. regex pushdown (5% selectivity scan) --")
+    for mode in ("ship-all", "dpu-software", "dpu-regex"):
+        result = run_pushdown_experiment(mode, pages=96)
+        print(
+            f"  {mode:13s} scan {result.scan_seconds * 1e3:6.2f}ms  "
+            f"wire {result.wire_bytes / 1024:7.1f}KB  "
+            f"arm {result.arm_core_seconds * 1e3:5.2f}ms"
+        )
+    print("  -> the RXP engine cuts wire bytes ~25x at ship-all speed\n")
+
+
+def cache_demo() -> None:
+    print("-- 3. DPU-memory read cache (Zipfian reads) --")
+    for cache_bytes in (0, 256 << 10, 2 << 20):
+        result = run_dpu_cache_experiment(cache_bytes, reads=2400)
+        label = f"{cache_bytes >> 10}KB" if cache_bytes else "off"
+        print(
+            f"  cache {label:7s} hit {result.hit_rate * 100:5.1f}%  "
+            f"{result.throughput / 1e3:7.1f}K reads/s  "
+            f"{result.mean_latency * 1e6:5.1f}us"
+        )
+    print("  -> a few MB of on-board DRAM lifts skewed reads past the SSD\n")
+
+
+def tenancy_demo() -> None:
+    print("-- 4. tenant isolation (light tenant vs 2000-request burst) --")
+    for scheduler in ("fifo", "drr"):
+        result = run_multitenant_experiment(scheduler)
+        print(
+            f"  {scheduler:4s} light worst-case "
+            f"{result.light_max_latency * 1e3:6.2f}ms, "
+            f"heavy throughput {result.heavy_throughput:6.0f}/s"
+        )
+    print("  -> DRR bounds the light tenant's wait at no aggregate cost")
+
+
+if __name__ == "__main__":
+    compression_demo()
+    pushdown_demo()
+    cache_demo()
+    tenancy_demo()

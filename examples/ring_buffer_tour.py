@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""A tour of DDS's host-DPU communication structures (§4.1, §4.3).
+
+Three things in one script:
+
+1. The progress-pointer lock-free ring, exercised with *real threads*:
+   many producers, one consumer, every message accounted for.
+2. The three-tail response buffer: out-of-order I/O completions turned
+   back into in-order deliveries with zero copies.
+3. The Figure 17 comparison, on the simulator: why the progress ring
+   beats FaRM-style flag rings and lock-based rings under contention.
+
+Run:  python examples/ring_buffer_tour.py
+"""
+
+import threading
+
+from repro.core import RingTransferModel
+from repro.sim import Environment
+from repro.structures import ProgressRing, ResponseBuffer
+
+PRODUCERS = 8
+MESSAGES_PER_PRODUCER = 5_000
+
+
+def threaded_ring_demo() -> None:
+    print("-- progress ring, real threads --")
+    ring = ProgressRing(1 << 16, max_progress=1 << 14)
+    received = []
+    total = PRODUCERS * MESSAGES_PER_PRODUCER
+
+    def produce(worker: int) -> None:
+        for i in range(MESSAGES_PER_PRODUCER):
+            payload = f"{worker}:{i}".encode()
+            while not ring.try_enqueue(payload):
+                pass  # RETRY: consumer is behind
+
+    def consume() -> None:
+        while len(received) < total:
+            batch = ring.try_consume()
+            if batch:
+                received.extend(batch)
+
+    threads = [
+        threading.Thread(target=produce, args=(w,)) for w in range(PRODUCERS)
+    ]
+    consumer = threading.Thread(target=consume)
+    consumer.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    consumer.join()
+    assert len(set(received)) == total
+    head, progress, tail = ring.pointers
+    print(
+        f"{PRODUCERS} producers moved {total} messages, none lost; "
+        f"final pointers head={head} progress={progress} tail={tail}\n"
+    )
+
+
+def response_buffer_demo() -> None:
+    print("-- TailA/TailB/TailC response buffer --")
+    buffer = ResponseBuffer(1 << 16, delivery_batch=64)
+    responses = [buffer.allocate(i, 32) for i in range(6)]
+    # I/O completes out of order...
+    for index in (3, 1, 5, 0, 2, 4):
+        responses[index].complete(payload=bytes([index]))
+        buffer.harvest()
+    delivered = buffer.take_delivery(force=True)
+    buffer.mark_delivered(delivered)
+    order = [r.request_id for r in delivered]
+    print(f"completion order 3,1,5,0,2,4 -> delivery order {order}")
+    print(
+        f"tails: C={buffer.tail_completed} B={buffer.tail_buffered} "
+        f"A={buffer.tail_allocated}\n"
+    )
+
+
+def figure17_demo() -> None:
+    print("-- Figure 17 on the simulator (64 producers) --")
+    for design in ("progress", "lock", "farm"):
+        messages = 1500 if design == "farm" else 20_000
+        model = RingTransferModel(Environment(), design, producers=64)
+        outcome = model.run(messages_per_producer=max(1, messages // 64))
+        print(
+            f"{design:9s} {outcome.rate / 1e6:6.2f}M msg/s  "
+            f"median latency {outcome.median_latency * 1e6:6.1f}us"
+        )
+
+
+if __name__ == "__main__":
+    threaded_ring_demo()
+    response_buffer_demo()
+    figure17_demo()

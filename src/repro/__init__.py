@@ -1,0 +1,15 @@
+"""repro — reproduction of DDS: DPU-optimized Disaggregated Storage.
+
+DDS (VLDB 2024) offloads disaggregated-storage read processing from the
+storage server's host CPUs onto its DPU.  This package reimplements the
+system in Python: the paper's concurrent data structures are built for
+real (:mod:`repro.structures`), while the hardware they ran on — a
+BlueField-2 DPU, NVMe SSDs, PCIe DMA, a 100 Gbps network — is reproduced
+as a calibrated discrete-event simulation (:mod:`repro.sim`,
+:mod:`repro.hardware`).  On top sit the DDS storage path, network path,
+and offload engine (:mod:`repro.core`), the baselines the paper compares
+against (:mod:`repro.baselines`), and the two production-system
+integrations (:mod:`repro.apps`).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,49 @@
+"""Production-system integrations (§9): page server and FASTER KV."""
+
+from .compute import ComputeServer, LogRecord, LogServer
+from .faster import RECORD, DdsFileDevice, FasterKv, OsFileDevice
+from .kv_service import (
+    KvCluster,
+    KvExperimentResult,
+    build_kv_cluster,
+    kv_offload_callbacks,
+    run_kv_experiment,
+)
+from .pageserver import (
+    PAGE_BYTES,
+    PAGE_HEADER,
+    PageServerCluster,
+    PageServerResult,
+    build_pageserver_cluster,
+    make_page,
+    pageserver_callbacks,
+    parse_page_header,
+    run_pageserver_experiment,
+)
+from .ycsb import WORKLOAD_MIXES, YcsbWorkload
+
+__all__ = [
+    "ComputeServer",
+    "DdsFileDevice",
+    "LogRecord",
+    "LogServer",
+    "FasterKv",
+    "KvCluster",
+    "KvExperimentResult",
+    "OsFileDevice",
+    "PAGE_BYTES",
+    "PAGE_HEADER",
+    "PageServerCluster",
+    "PageServerResult",
+    "RECORD",
+    "WORKLOAD_MIXES",
+    "YcsbWorkload",
+    "build_kv_cluster",
+    "build_pageserver_cluster",
+    "kv_offload_callbacks",
+    "make_page",
+    "pageserver_callbacks",
+    "parse_page_header",
+    "run_kv_experiment",
+    "run_pageserver_experiment",
+]

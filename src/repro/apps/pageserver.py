@@ -1,0 +1,439 @@
+"""A Hyperscale-like page server (§9.1, Figures 2 and 24).
+
+The page server stores a partition of the database in an RBPEX file on
+local SSDs and continuously *replays log records* fetched from the log
+server to refresh pages.  Compute servers send **GetPage@LSN** requests
+on cache misses: the returned page must reflect all updates up to the
+requested LSN.
+
+Pages are 8 KiB and self-describing: the first 16 bytes hold
+``page_lsn(8) | page_id(8)``, which is what the cache-on-write hook
+parses.  The DDS integration (the paper's "hundreds of lines"):
+
+* ``Cache`` — on every RBPEX write, cache ``{page_id -> (lsn, offset)}``;
+* ``Invalidate`` — when the host reads a page to replay log onto it,
+  drop its entry so remote reads of the in-flux page divert to the host;
+* ``OffPred`` — offload a GetPage@LSN iff the cached LSN >= requested;
+* ``OffFunc`` — build the RBPEX read from the cached offset.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..core.api import OffloadCallbacks, ReadOp, WriteOp
+from ..core.client import ClientConfig, ClientResult, WorkloadClient
+from ..core.messages import IoRequest, IoResponse, OpCode
+from ..core.server import BaselineServer, DdsOffloadServer
+from ..hardware.cpu import CpuCore
+from ..hardware.nic import NetworkLink
+from ..hardware.specs import HOST_APP_NET, MICROSECOND
+from ..net.stack import StackLayer
+from ..sim import Environment, Event, SeededRng
+from ..storage.disk import RamDisk, SpdkBdev
+from ..storage.filesystem import DdsFileSystem
+
+__all__ = [
+    "PAGE_BYTES",
+    "PAGE_HEADER",
+    "make_page",
+    "parse_page_header",
+    "pageserver_callbacks",
+    "PageServerCluster",
+    "build_pageserver_cluster",
+    "run_pageserver_experiment",
+    "PageServerResult",
+]
+
+PAGE_BYTES = 8192
+PAGE_HEADER = struct.Struct("<QQ")  # page_lsn, page_id
+
+
+def make_page(page_id: int, lsn: int) -> bytes:
+    """Materialize one page image with its self-describing header."""
+    header = PAGE_HEADER.pack(lsn, page_id)
+    return header + bytes(PAGE_BYTES - PAGE_HEADER.size)
+
+
+def parse_page_header(page: bytes) -> Tuple[int, int]:
+    """(lsn, page_id) from a page image."""
+    return PAGE_HEADER.unpack_from(page)
+
+
+def pageserver_callbacks(rbpex_file_id: int) -> OffloadCallbacks:
+    """The §9.1 offload plan for GetPage@LSN."""
+
+    def cache(write_op: WriteOp) -> List[Tuple[tuple, tuple]]:
+        page = write_op.context
+        if page is None or len(page) < PAGE_HEADER.size:
+            return []
+        items = []
+        # A write may carry several pages (log replay batches them).
+        for start in range(0, len(page) - PAGE_BYTES + 1, PAGE_BYTES):
+            lsn, page_id = PAGE_HEADER.unpack_from(page, start)
+            items.append(
+                (("page", page_id), (lsn, write_op.offset + start))
+            )
+        return items
+
+    def invalidate(read_op: ReadOp) -> List[tuple]:
+        # The host reads pages only to replay log onto them; every page
+        # in the range is about to be stale.
+        first = read_op.offset // PAGE_BYTES
+        last = (read_op.offset + max(read_op.size, 1) - 1) // PAGE_BYTES
+        return [("page", page_id) for page_id in range(first, last + 1)]
+
+    def off_pred(
+        requests: Sequence[IoRequest], table
+    ) -> Tuple[List[IoRequest], List[IoRequest]]:
+        host: List[IoRequest] = []
+        dpu: List[IoRequest] = []
+        for request in requests:
+            entry = None
+            if request.op is OpCode.READ:
+                entry = table.lookup(("page", request.offset // PAGE_BYTES))
+            # Offload iff the cached page is fresh enough for the
+            # requested LSN (request.tag).
+            if entry is not None and entry[0] >= request.tag:
+                dpu.append(request)
+            else:
+                host.append(request)
+        return host, dpu
+
+    def off_func(request: IoRequest, table) -> Optional[ReadOp]:
+        entry = table.lookup(("page", request.offset // PAGE_BYTES))
+        if entry is None or entry[0] < request.tag:
+            return None
+        _lsn, offset = entry
+        return ReadOp(request.file_id, offset, PAGE_BYTES)
+
+    return OffloadCallbacks(
+        off_pred=off_pred,
+        off_func=off_func,
+        cache=cache,
+        invalidate=invalidate,
+    )
+
+
+class _PageServerApp:
+    """Host-side page-server logic shared by both deployments.
+
+    Tracks per-page LSNs, runs the log-replay loop, and answers
+    GetPage@LSN requests that reach the host (waiting for replay when
+    the requested LSN is ahead of the page).
+    """
+
+    #: Serialized SQL-stack work per served page (the I/O dispatch /
+    #: completion thread), which caps the baseline's page rate.
+    SQL_DISPATCH_COST = 6.0 * MICROSECOND
+    #: Parallel SQL-stack work per served page (buffer manager, checks).
+    SQL_PAGE_COST = 8.0 * MICROSECOND
+    #: CPU to apply one log record to a page.
+    REPLAY_APPLY_COST = 4.0 * MICROSECOND
+
+    def __init__(
+        self,
+        env: Environment,
+        host_pool,
+        rbpex_file_id: int,
+        pages: int,
+        read_page,
+        write_page,
+        rng: SeededRng,
+    ) -> None:
+        self.env = env
+        self.host_pool = host_pool
+        self.rbpex_file_id = rbpex_file_id
+        self.pages = pages
+        self.read_page = read_page    # generator: (offset, size) -> bytes
+        self.write_page = write_page  # generator: (offset, data) -> None
+        self.rng = rng
+        self.page_lsns: Dict[int, int] = {p: 0 for p in range(pages)}
+        self.current_lsn = 0
+        self.dispatch_core = CpuCore(env, speed=1.0, name="sql-dispatch")
+        self._lsn_waiters: List[tuple] = []
+        self.pages_served = 0
+        self.records_replayed = 0
+
+    # ------------------------------------------------------------------
+    # log replay
+    # ------------------------------------------------------------------
+    def start_replay(self, records_per_second: float) -> None:
+        """Continuously replay log records onto random pages."""
+        if records_per_second > 0:
+            self.env.process(self._replay_loop(records_per_second))
+
+    def start_replay_from(self, log_server, max_batch: int = 32) -> None:
+        """Replay from a :class:`~repro.apps.compute.LogServer` feed.
+
+        The full §9.1 wiring: log records are pulled in batches over the
+        network and applied in LSN order.
+        """
+        self.env.process(self._replay_from_log(log_server, max_batch))
+
+    def _replay_from_log(self, log_server, max_batch: int) -> Generator:
+        while True:
+            batch = yield self.env.process(log_server.pull_batch(max_batch))
+            for record in batch:
+                self.current_lsn = max(self.current_lsn, record.lsn)
+                yield self.env.process(
+                    self._replay_one(record.page_id, record.lsn)
+                )
+
+    def _replay_loop(self, rate: float) -> Generator:
+        while True:
+            yield self.env.timeout(self.rng.exponential(1.0 / rate))
+            page_id = self.rng.randrange(self.pages)
+            self.current_lsn += 1
+            lsn = self.current_lsn
+            yield self.env.process(self._replay_one(page_id, lsn))
+
+    def _replay_one(self, page_id: int, lsn: int) -> Generator:
+        offset = page_id * PAGE_BYTES
+        # Read the page (invalidate-on-read fires in the file service),
+        # apply the record, write it back (cache-on-write re-caches it).
+        yield self.env.process(self.read_page(offset, PAGE_BYTES))
+        yield from self.host_pool.execute(self.REPLAY_APPLY_COST)
+        yield self.env.process(
+            self.write_page(offset, make_page(page_id, lsn))
+        )
+        self.page_lsns[page_id] = lsn
+        self.records_replayed += 1
+        still_waiting = []
+        for waited_page, waited_lsn, event in self._lsn_waiters:
+            if waited_page == page_id and lsn >= waited_lsn:
+                event.succeed()
+            else:
+                still_waiting.append((waited_page, waited_lsn, event))
+        self._lsn_waiters = still_waiting
+
+    # ------------------------------------------------------------------
+    # GetPage@LSN (host path)
+    # ------------------------------------------------------------------
+    def get_page(self, request: IoRequest) -> Generator:
+        """Serve one GetPage@LSN on the host."""
+        page_id = request.offset // PAGE_BYTES
+        wanted_lsn = request.tag
+        yield from self.dispatch_core.execute(self.SQL_DISPATCH_COST)
+        yield from self.host_pool.execute(self.SQL_PAGE_COST)
+        if self.page_lsns.get(page_id, 0) < wanted_lsn:
+            # The page is behind the requested LSN: wait for replay.
+            gate = self.env.event()
+            self._lsn_waiters.append((page_id, wanted_lsn, gate))
+            yield gate
+        data = yield self.env.process(
+            self.read_page(page_id * PAGE_BYTES, PAGE_BYTES)
+        )
+        self.pages_served += 1
+        return IoResponse(request.request_id, True, data)
+
+
+@dataclass
+class PageServerCluster:
+    """A ready-to-drive page-server deployment."""
+
+    env: Environment
+    server: object
+    app: _PageServerApp
+    rbpex_file_id: int
+    pages: int
+
+
+def build_pageserver_cluster(
+    kind: str,
+    pages: int = 16_384,  # 128 MiB partition (scaled-down 128 GB)
+    replay_rate: float = 2_000.0,
+    seed: int = 23,
+) -> PageServerCluster:
+    """Assemble the §9.1 setup: RBPEX on local SSD, replay, GetPage@LSN."""
+    if kind not in ("baseline", "dds"):
+        raise ValueError(f"unknown page-server deployment: {kind!r}")
+    env = Environment()
+    disk = RamDisk(pages * PAGE_BYTES + (64 << 20))
+    fs = DdsFileSystem(env, SpdkBdev(env, disk))
+    fs.create_directory("rbpex")
+    rbpex = fs.create_file("rbpex", "data")
+    # Materialize every page at LSN 0.
+    fs.preallocate(rbpex, pages * PAGE_BYTES)
+    for page_id in range(pages):
+        fs.write_sync(
+            rbpex,
+            page_id * PAGE_BYTES,
+            PAGE_HEADER.pack(0, page_id),
+        )
+    link = NetworkLink(env)
+    rng = SeededRng(seed)
+
+    if kind == "baseline":
+        app_holder: List[_PageServerApp] = []
+
+        def handler(request: IoRequest) -> Generator:
+            response = yield env.process(app_holder[0].get_page(request))
+            return response
+
+        server = BaselineServer(
+            env, link, fs, app_handler=handler, app_net_spec=HOST_APP_NET
+        )
+
+        def read_page(offset, size):
+            return server.osfs.read(rbpex, offset, size)
+
+        def write_page(offset, data):
+            return server.osfs.write(rbpex, offset, data)
+
+        app = _PageServerApp(
+            env, server.host_pool, rbpex, pages, read_page, write_page, rng
+        )
+        app_holder.append(app)
+    else:
+        app_holder = []
+
+        def handler(request: IoRequest) -> Generator:
+            response = yield env.process(app_holder[0].get_page(request))
+            return response
+
+        callbacks = pageserver_callbacks(rbpex)
+        server = DdsOffloadServer(
+            env, link, fs, callbacks=callbacks, host_app=handler
+        )
+        from .kv_service import _CompletionRouter
+
+        group = server.library.create_poll()
+        server.library.poll_add(group, rbpex)
+        router = _CompletionRouter(env, server.library, group)
+
+        def read_page(offset, size):
+            def op():
+                request_id = yield from server.library.read_file(
+                    rbpex, offset, size
+                )
+                response = yield router.wait_for(request_id)
+                return response.data
+
+            return op()
+
+        def write_page(offset, data):
+            def op():
+                request_id = yield from server.library.write_file(
+                    rbpex, offset, data
+                )
+                yield router.wait_for(request_id)
+
+            return op()
+
+        app = _PageServerApp(
+            env, server.host_pool, rbpex, pages, read_page, write_page, rng
+        )
+        app_holder.append(app)
+        # Seed the cache table: every page is clean at LSN 0.
+        for page_id in range(pages):
+            server.cache_table.insert(
+                ("page", page_id), (0, page_id * PAGE_BYTES)
+            )
+    app.start_replay(replay_rate)
+    return PageServerCluster(
+        env=env, server=server, app=app, rbpex_file_id=rbpex, pages=pages
+    )
+
+
+@dataclass
+class PageServerResult:
+    """One Figure 2/24 measurement point."""
+
+    kind: str
+    offered_pages: float
+    achieved_pages: float
+    p50: float
+    p99: float
+    host_cores: float
+    dpu_cores: float
+    offloaded_fraction: float
+    breakdown: Dict[str, float]
+
+
+def run_pageserver_experiment(
+    kind: str,
+    offered_pages: float,
+    total_requests: int = 6_000,
+    pages: int = 16_384,
+    replay_rate: float = 2_000.0,
+    batch: int = 2,
+    max_outstanding: int = 128,
+    seed: int = 23,
+) -> PageServerResult:
+    """Drive GetPage@LSN traffic at one offered rate.
+
+    Requests ask for the page's current LSN (the common case: the
+    compute server read the log up to what the page server replayed);
+    pages being replayed at that instant divert to the host.
+    """
+    cluster = build_pageserver_cluster(
+        kind, pages=pages, replay_rate=replay_rate, seed=seed
+    )
+    app = cluster.app
+    rng = SeededRng(seed + 1)
+
+    def factory(request_id: int, _rng) -> IoRequest:
+        page_id = rng.randrange(cluster.pages)
+        wanted = app.page_lsns.get(page_id, 0)
+        return IoRequest(
+            OpCode.READ,
+            request_id,
+            cluster.rbpex_file_id,
+            page_id * PAGE_BYTES,
+            PAGE_BYTES,
+            tag=wanted,
+        )
+
+    config = ClientConfig(
+        offered_iops=offered_pages,
+        total_requests=total_requests,
+        io_size=PAGE_BYTES,
+        batch=batch,
+        max_outstanding=max_outstanding,
+        seed=seed + 2,
+    )
+    client = WorkloadClient(
+        cluster.env,
+        cluster.server,
+        cluster.rbpex_file_id,
+        config,
+        request_factory=factory,
+    )
+    result: ClientResult = client.run()
+    server = cluster.server
+    elapsed = result.elapsed
+    breakdown: Dict[str, float] = {}
+    if kind == "baseline":
+        breakdown = {
+            "dbms-network": server.app_net.cores_consumed(elapsed),
+            "os-network": server.os_tcp.cores_consumed(elapsed),
+            "filesystem": server.osfs.layer.cores_consumed(elapsed)
+            + server.osfs.serializer.utilization(elapsed),
+            "dbms-other": server.app_other.cores_consumed(elapsed)
+            + app.dispatch_core.utilization(elapsed),
+        }
+    offloaded = 0.0
+    director = getattr(server, "director", None)
+    if director is not None and (
+        director.requests_offloaded + director.requests_to_host
+    ):
+        offloaded = director.requests_offloaded / (
+            director.requests_offloaded + director.requests_to_host
+        )
+    host_cores = server.host_cores(elapsed)
+    if kind == "baseline":
+        host_cores += app.dispatch_core.utilization(elapsed)
+    return PageServerResult(
+        kind=kind,
+        offered_pages=offered_pages,
+        achieved_pages=result.achieved_iops,
+        p50=result.p50,
+        p99=result.p99,
+        host_cores=host_cores,
+        dpu_cores=server.dpu_cores(elapsed),
+        offloaded_fraction=offloaded,
+        breakdown=breakdown,
+    )

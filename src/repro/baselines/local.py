@@ -1,0 +1,140 @@
+"""Local (non-disaggregated) storage servers (Figure 16 ① and ②).
+
+The detailed comparison's reference points: the same random-I/O
+application running against locally-attached SSDs, either through the OS
+filesystem (Windows files, ①) or through the DDS front-end library with
+file execution offloaded to the DPU (DDS files, ②).  There is no network
+and no second machine; "client" CPU and server CPU are the same pool.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List
+
+from ..core.messages import IoRequest, IoResponse, OpCode
+from ..core.server import StorageServerBase, _DdsHostSide
+from ..core.file_library import DdsFileLibrary
+from ..core.file_service import DpuFileService
+from ..hardware.cpu import CpuCore
+from ..hardware.nic import NetworkLink
+from ..hardware.pcie import DmaEngine
+from ..hardware.specs import DPU_CPU, HOST_APP_OTHER, StackSpec
+from ..net.packet import FiveTuple
+from ..net.stack import StackLayer
+from ..sim import Environment
+from ..storage.filesystem import DdsFileSystem
+from ..storage.osfs import OsFileSystem
+
+__all__ = ["LocalOsServer", "LocalDdsServer", "NO_TRANSPORT"]
+
+#: Local access pays no transport CPU at all.
+NO_TRANSPORT = StackSpec(
+    name="no-transport",
+    per_message_core_time=0.0,
+    per_byte_core_time=0.0,
+    per_message_latency=0.0,
+)
+
+
+class LocalOsServer(StorageServerBase):
+    """① Windows files on local SSDs: the non-disaggregated OS baseline."""
+
+    client_spec = NO_TRANSPORT
+
+    def __init__(
+        self,
+        env: Environment,
+        link: NetworkLink,
+        filesystem: DdsFileSystem,
+    ) -> None:
+        super().__init__(env, link)
+        self.app_other = StackLayer(env, HOST_APP_OTHER, self.host_pool)
+        self.osfs = OsFileSystem(env, filesystem, self.host_pool)
+
+    def host_cores(self, elapsed: float) -> float:
+        """Average host cores consumed over ``elapsed`` seconds."""
+        pool = self.host_pool.cores_consumed(elapsed)
+        return pool + self.osfs.serializer.utilization(elapsed)
+
+    def _ingress(
+        self,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        arrived: Callable,
+    ) -> Generator:
+        served = [self.env.process(self._serve(r)) for r in requests]
+        responses: List[IoResponse] = yield self.env.all_of(served)
+        for response in responses:
+            arrived(response)
+
+    def _serve(self, request: IoRequest) -> Generator:
+        yield from self.app_other.process(request.wire_size)
+        if request.op is OpCode.READ:
+            data = yield self.env.process(
+                self.osfs.read(request.file_id, request.offset, request.size)
+            )
+            response = IoResponse(request.request_id, True, data)
+        else:
+            yield self.env.process(
+                self.osfs.write(
+                    request.file_id, request.offset, request.payload
+                )
+            )
+            response = IoResponse(request.request_id, True)
+        self.requests_served += 1
+        return response
+
+
+class LocalDdsServer(StorageServerBase):
+    """② DDS files on local SSDs: userspace front end, DPU execution.
+
+    The paper notes this is a *stronger* local baseline than host-only
+    userspace storage: it exploits the SSD fully while burning no host
+    cores on the I/O path (§8.4, footnote 5).
+    """
+
+    client_spec = NO_TRANSPORT
+
+    def __init__(
+        self,
+        env: Environment,
+        link: NetworkLink,
+        filesystem: DdsFileSystem,
+    ) -> None:
+        super().__init__(env, link)
+        self.dma = DmaEngine(env)
+        self.dma_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-dma")
+        self.spdk_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-spdk")
+        self.file_service = DpuFileService(
+            env, filesystem, self.dma_core, self.spdk_core
+        )
+        self.library = DdsFileLibrary(
+            env, self.host_pool, self.file_service, self.dma
+        )
+        self.host_side = _DdsHostSide(env, self.host_pool, self.library)
+        self.file_service.start()
+
+    def host_cores(self, elapsed: float) -> float:
+        """Average host cores consumed over ``elapsed`` seconds."""
+        pool = self.host_pool.cores_consumed(elapsed)
+        return pool + self.host_side.dispatch_core.utilization(elapsed)
+
+    def dpu_cores(self, elapsed: float) -> float:
+        """Average DPU cores consumed over ``elapsed`` seconds."""
+        return self.dma_core.utilization(elapsed) + self.spdk_core.utilization(
+            elapsed
+        )
+
+    def _ingress(
+        self,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        arrived: Callable,
+    ) -> Generator:
+        served = [
+            self.env.process(self.host_side.serve(r)) for r in requests
+        ]
+        responses: List[IoResponse] = yield self.env.all_of(served)
+        self.requests_served += len(responses)
+        for response in responses:
+            arrived(response)

@@ -1,0 +1,101 @@
+"""Regenerate the paper's figures from the command line.
+
+``python -m repro.bench.figures``            — every figure + ablations
+``python -m repro.bench.figures fig14 fig17`` — a subset
+
+Each figure's driver lives in ``benchmarks/`` (they are also the
+pytest-benchmark suite); this module locates that directory, imports the
+drivers, and runs them.  Tables print to stdout and are persisted under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import time
+from typing import Dict, List, Tuple
+
+__all__ = ["FIGURES", "regenerate", "main"]
+
+#: figure name -> (benchmark module, driver callables inside it).
+FIGURES: Dict[str, Tuple[str, List[str]]] = {
+    "fig02": ("test_fig02_pageserver_cpu", ["run_figure"]),
+    "fig04": ("test_fig04_echo_rtt", ["run_figure"]),
+    "fig05": ("test_fig05_faster_rmw", ["run_figure"]),
+    "fig11": ("test_fig11_pep_transport", ["run_figure"]),
+    "fig14": ("test_fig14_cpu_savings", ["run_reads", "run_writes"]),
+    "fig15": ("test_fig15_latency", ["run_reads", "run_writes"]),
+    "fig16": ("test_fig16_ten_solutions", ["run_figure"]),
+    "fig17": ("test_fig17_ring_buffer", ["run_figure"]),
+    "fig18": ("test_fig18_file_io", ["run_figure"]),
+    "fig19": ("test_fig19_tldk_split", ["run_figure"]),
+    "fig20": ("test_fig20_host_vs_dpu_tldk", ["run_figure"]),
+    "fig21": ("test_fig21_director_scaling", ["run_figure"]),
+    "fig22": ("test_fig22_cache_table", ["run_figure"]),
+    "fig23": ("test_fig23_zero_copy", ["run_figure"]),
+    "fig24": ("test_fig24_pageserver", ["run_figure"]),
+    "fig25": ("test_fig25_faster_cpu", ["run_figure"]),
+    "fig26": ("test_fig26_faster_latency", ["run_figure"]),
+    "ablations": (
+        "test_ablation_ring_design",
+        ["run_max_progress", "run_pointer_layout"],
+    ),
+    "ablations-offload": (
+        "test_ablation_offload_limits",
+        ["run_context_ring", "run_chaining"],
+    ),
+    "extensions": (
+        "test_ext_accelerators",
+        ["run_compression", "run_pushdown"],
+    ),
+    "extensions-cache": (
+        "test_ext_cache_tenancy",
+        ["run_cache", "run_tenancy"],
+    ),
+}
+
+
+def _benchmarks_dir() -> str:
+    """Locate the benchmarks/ directory next to the repo's src tree."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for candidate in (
+        os.path.normpath(os.path.join(here, "..", "..", "..", "benchmarks")),
+        os.path.join(os.getcwd(), "benchmarks"),
+    ):
+        if os.path.isdir(candidate):
+            return candidate
+    raise FileNotFoundError(
+        "cannot locate the benchmarks/ directory; run from the repo root"
+    )
+
+
+def regenerate(names: List[str]) -> None:
+    """Run the drivers for the named figures."""
+    bench_dir = _benchmarks_dir()
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    for name in names:
+        if name not in FIGURES:
+            raise SystemExit(
+                f"unknown figure {name!r}; choose from "
+                f"{', '.join(sorted(FIGURES))}"
+            )
+        module_name, drivers = FIGURES[name]
+        module = importlib.import_module(module_name)
+        for driver in drivers:
+            start = time.time()
+            getattr(module, driver)()
+            print(f"[{name}.{driver} took {time.time() - start:.1f}s]")
+
+
+def main(argv: List[str] = None) -> None:
+    """CLI entry point."""
+    argv = sys.argv[1:] if argv is None else argv
+    names = argv if argv else list(FIGURES)
+    regenerate(names)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,232 @@
+"""Experiment harness: build a cluster, drive a workload, measure.
+
+One entry point, :func:`run_io_experiment`, serves every throughput /
+latency / CPU figure (14, 15, 16, 23, 24): it assembles the simulated
+cluster for a named solution, runs the §8.1 random-I/O client against
+it, and reports achieved IOPS, latency percentiles, and cores consumed
+on host, DPU, and client.
+
+Solution names (Figure 16's ten systems plus ablations):
+
+==================  =====================================================
+``local-os``        ① Windows files, local SSD
+``local-dds``       ② DDS files, local SSD
+``smb``             ③ SMB remote mount (TCP)
+``smb-direct``      ④ SMB Direct (RDMA)
+``baseline``        ⑤ TCP + Windows files (the paper's default baseline)
+``dds-files``       ⑥ TCP + DDS files (host networking, DPU file service)
+``redy-os``         ⑦ Redy RPC + Windows files
+``redy-dds``        ⑧ Redy RPC + DDS files
+``dds-offload``     ⑨ DDS offloading over TCP
+``dds-offload-rdma``⑩ DDS offloading over RDMA
+``dds-offload-copy``   ⑨ without zero-copy (Figure 23 ablation)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..baselines import LocalDdsServer, LocalOsServer, RedyServer, SmbServer
+from ..core.client import ClientConfig, ClientResult, WorkloadClient
+from ..core.server import (
+    BaselineServer,
+    DdsLibraryServer,
+    DdsOffloadServer,
+    StorageServerBase,
+)
+from ..hardware.nic import NetworkLink
+from ..sim import Environment
+from ..storage.disk import RamDisk, SpdkBdev
+from ..storage.filesystem import DdsFileSystem
+
+__all__ = [
+    "SOLUTIONS",
+    "ExperimentResult",
+    "build_cluster",
+    "run_io_experiment",
+    "sweep",
+    "find_peak",
+]
+
+
+def _make_server(kind: str, env, link, fs) -> StorageServerBase:
+    if kind == "baseline":
+        return BaselineServer(env, link, fs)
+    if kind == "dds-files":
+        return DdsLibraryServer(env, link, fs)
+    if kind == "dds-files-copy":
+        return DdsLibraryServer(env, link, fs, copy_mode=True)
+    if kind == "dds-offload":
+        return DdsOffloadServer(env, link, fs)
+    if kind == "dds-offload-rdma":
+        return DdsOffloadServer(env, link, fs, rdma_transport=True)
+    if kind == "dds-offload-copy":
+        return DdsOffloadServer(env, link, fs, copy_mode=True)
+    if kind == "local-os":
+        return LocalOsServer(env, link, fs)
+    if kind == "local-dds":
+        return LocalDdsServer(env, link, fs)
+    if kind == "smb":
+        return SmbServer(env, link, fs, direct=False)
+    if kind == "smb-direct":
+        return SmbServer(env, link, fs, direct=True)
+    if kind == "redy-os":
+        return RedyServer(env, link, fs, dds_files=False)
+    if kind == "redy-dds":
+        return RedyServer(env, link, fs, dds_files=True)
+    raise ValueError(f"unknown solution: {kind!r}")
+
+
+SOLUTIONS = (
+    "local-os",
+    "local-dds",
+    "smb",
+    "smb-direct",
+    "baseline",
+    "dds-files",
+    "redy-os",
+    "redy-dds",
+    "dds-offload",
+    "dds-offload-rdma",
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment point reports."""
+
+    kind: str
+    offered_iops: float
+    achieved_iops: float
+    elapsed: float
+    p50: float
+    p99: float
+    mean_latency: float
+    host_cores: float
+    dpu_cores: float
+    client_cores: float
+    latencies: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def total_cores(self) -> float:
+        """Client + server host cores (Figure 16b's metric)."""
+        return self.host_cores + self.client_cores
+
+
+@dataclass
+class Cluster:
+    """A freshly-built simulated cluster ready for a workload."""
+
+    env: Environment
+    server: StorageServerBase
+    filesystem: DdsFileSystem
+    file_id: int
+
+
+def build_cluster(
+    kind: str,
+    db_bytes: int = 192 << 20,
+    disk_bytes: Optional[int] = None,
+) -> Cluster:
+    """Assemble disk, filesystem, link, and server for one solution.
+
+    The benchmark database is ``db_bytes`` of preallocated file (the
+    paper uses a 128 GB database; we scale it down — random cold reads
+    behave identically since nothing is cached anywhere).
+    """
+    env = Environment()
+    disk = RamDisk(disk_bytes if disk_bytes else db_bytes + (64 << 20))
+    fs = DdsFileSystem(env, SpdkBdev(env, disk))
+    fs.create_directory("bench")
+    file_id = fs.create_file("bench", "database")
+    fs.preallocate(file_id, db_bytes)
+    link = NetworkLink(env)
+    server = _make_server(kind, env, link, fs)
+    return Cluster(env=env, server=server, filesystem=fs, file_id=file_id)
+
+
+def run_io_experiment(
+    kind: str,
+    offered_iops: float,
+    total_requests: int = 15_000,
+    io_size: int = 1024,
+    read_fraction: float = 1.0,
+    batch: int = 4,
+    max_outstanding: int = 128,
+    db_bytes: int = 192 << 20,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Run the §8.1 random-I/O workload against one solution."""
+    cluster = build_cluster(kind, db_bytes=db_bytes)
+    config = ClientConfig(
+        offered_iops=offered_iops,
+        total_requests=total_requests,
+        io_size=io_size,
+        read_fraction=read_fraction,
+        batch=batch,
+        max_outstanding=max_outstanding,
+        file_size=db_bytes,
+        seed=seed,
+    )
+    client = WorkloadClient(cluster.env, cluster.server, cluster.file_id, config)
+    result: ClientResult = client.run()
+    server = cluster.server
+    client_cores = result.client_cores
+    extra = getattr(server, "client_extra_cores", None)
+    if extra is not None:
+        client_cores += extra()
+    return ExperimentResult(
+        kind=kind,
+        offered_iops=offered_iops,
+        achieved_iops=result.achieved_iops,
+        elapsed=result.elapsed,
+        p50=result.p50,
+        p99=result.p99,
+        mean_latency=result.mean_latency,
+        host_cores=server.host_cores(result.elapsed),
+        dpu_cores=server.dpu_cores(result.elapsed),
+        client_cores=client_cores,
+        latencies=result.latencies,
+    )
+
+
+def sweep(
+    kind: str,
+    offered_points: List[float],
+    **kwargs,
+) -> List[ExperimentResult]:
+    """Run one experiment per offered-load point."""
+    return [
+        run_io_experiment(kind, offered, **kwargs)
+        for offered in offered_points
+    ]
+
+
+def find_peak(
+    kind: str,
+    start_iops: float = 200_000.0,
+    factor: float = 1.6,
+    tolerance: float = 0.05,
+    max_rounds: int = 8,
+    **kwargs,
+) -> ExperimentResult:
+    """Increase offered load until achieved throughput stops growing.
+
+    Returns the measurement at the peak (Figure 16 reports peak
+    throughput and the CPU/latency observed there).
+    """
+    best: Optional[ExperimentResult] = None
+    offered = start_iops
+    for _ in range(max_rounds):
+        result = run_io_experiment(kind, offered, **kwargs)
+        if best is not None and result.achieved_iops < best.achieved_iops * (
+            1 + tolerance
+        ):
+            if result.achieved_iops > best.achieved_iops:
+                best = result
+            break
+        best = result
+        offered *= factor
+    return best

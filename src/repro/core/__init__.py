@@ -1,0 +1,44 @@
+"""DDS core: storage path, network path, offload engine, servers, client."""
+
+from .api import OffloadCallbacks, ReadOp, WriteOp, passthrough_callbacks
+from .client import ClientConfig, ClientResult, WorkloadClient
+from .dma_ring import DmaRingChannel, RingTransferModel, RingTransferResult
+from .file_library import DdsFileLibrary, NotificationGroup, PollMode
+from .file_service import DpuFileService
+from .messages import IoRequest, IoResponse, OpCode
+from .offload_engine import Context, ContextStatus, OffloadEngine
+from .server import (
+    BaselineServer,
+    DdsLibraryServer,
+    DdsOffloadServer,
+    StorageServerBase,
+)
+from .traffic_director import TrafficDirector
+
+__all__ = [
+    "BaselineServer",
+    "ClientConfig",
+    "ClientResult",
+    "Context",
+    "ContextStatus",
+    "DdsFileLibrary",
+    "DdsLibraryServer",
+    "DdsOffloadServer",
+    "DmaRingChannel",
+    "DpuFileService",
+    "IoRequest",
+    "IoResponse",
+    "NotificationGroup",
+    "OffloadCallbacks",
+    "OffloadEngine",
+    "OpCode",
+    "PollMode",
+    "ReadOp",
+    "RingTransferModel",
+    "RingTransferResult",
+    "StorageServerBase",
+    "TrafficDirector",
+    "WorkloadClient",
+    "WriteOp",
+    "passthrough_callbacks",
+]

@@ -1,0 +1,106 @@
+"""The DDS offload API (Table 1, §6.1).
+
+Data systems customize DPU offloading with four user-defined functions:
+
+* ``off_pred(message, cache_table)`` — split a network message (which may
+  batch several requests) into ``(host_requests, dpu_requests)``;
+* ``off_func(request, cache_table)`` — translate an offloadable request
+  into a file :class:`ReadOp`, or None to bounce it to the host;
+* ``cache(write_op)`` — *cache-on-write*: items to insert into the cache
+  table when the host writes a file;
+* ``invalidate(read_op)`` — *invalidate-on-read*: keys to drop when the
+  host reads data it may subsequently modify.
+
+``off_func`` is declarative by design: it must not allocate or block (the
+paper forbids syscalls inside it); here that contract is documented and
+its outputs are plain value objects.
+
+:func:`passthrough_callbacks` implements the simple policy the paper's
+benchmark application uses (§8.2, footnote: requests encode file id,
+offset and size directly, so ``cache``/``invalidate`` are unnecessary):
+reads are offloaded verbatim, writes go to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+
+from ..structures.cuckoo import CuckooCacheTable
+from .messages import IoRequest, OpCode
+
+__all__ = [
+    "ReadOp",
+    "WriteOp",
+    "OffloadCallbacks",
+    "passthrough_callbacks",
+]
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """A file read operation: the output of ``off_func``."""
+
+    file_id: int
+    offset: int
+    size: int
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """A host file write, as presented to the ``cache`` callback."""
+
+    file_id: int
+    offset: int
+    size: int
+    context: Any = None  # application payload summary (e.g. page headers)
+
+
+#: off_pred: (message requests, cache table) -> (host list, DPU list).
+OffPred = Callable[
+    [Sequence[IoRequest], CuckooCacheTable],
+    Tuple[List[IoRequest], List[IoRequest]],
+]
+#: off_func: (request, cache table) -> ReadOp or None (bounce to host).
+OffFunc = Callable[[IoRequest, CuckooCacheTable], Optional[ReadOp]]
+#: cache-on-write: WriteOp -> [(key, item)] to insert.
+CacheFn = Callable[[WriteOp], List[Tuple[Hashable, Any]]]
+#: invalidate-on-read: ReadOp -> [key] to remove.
+InvalidateFn = Callable[[ReadOp], List[Hashable]]
+
+
+@dataclass
+class OffloadCallbacks:
+    """The four user-supplied functions of Table 1 (cache hooks optional)."""
+
+    off_pred: OffPred
+    off_func: OffFunc
+    cache: Optional[CacheFn] = None
+    invalidate: Optional[InvalidateFn] = None
+
+
+def passthrough_callbacks() -> OffloadCallbacks:
+    """Offload every read as-is; send every write to the host.
+
+    This is the ~30-line OffPred / ~20-line OffFunc of §8.2: the request
+    already carries file id, offset, and size, so translation is direct
+    and no cache table consultation is needed.
+    """
+
+    def off_pred(
+        requests: Sequence[IoRequest], _table: CuckooCacheTable
+    ) -> Tuple[List[IoRequest], List[IoRequest]]:
+        host: List[IoRequest] = []
+        dpu: List[IoRequest] = []
+        for request in requests:
+            (dpu if request.op is OpCode.READ else host).append(request)
+        return host, dpu
+
+    def off_func(
+        request: IoRequest, _table: CuckooCacheTable
+    ) -> Optional[ReadOp]:
+        if request.op is not OpCode.READ:
+            return None
+        return ReadOp(request.file_id, request.offset, request.size)
+
+    return OffloadCallbacks(off_pred=off_pred, off_func=off_func)

@@ -1,0 +1,194 @@
+"""The disaggregated-storage workload client (§8.1).
+
+A semi-open client: messages arrive at an offered rate (Poisson), each
+batching a configurable number of random file I/O requests, with a cap
+on outstanding messages (the paper's three load knobs: batch size,
+outstanding messages, concurrent connections).  Per-request latency is
+measured from message departure to that request's response arrival at
+the client, and the client's own transport CPU (which Figure 16 counts)
+is accounted against a client-side pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..hardware.cpu import CpuPool
+from ..hardware.specs import HOST_CPU
+from ..net.packet import FiveTuple
+from ..sim import Environment, SeededRng
+from .messages import IoRequest, IoResponse, OpCode
+from .server import StorageServerBase
+
+__all__ = ["ClientConfig", "ClientResult", "WorkloadClient"]
+
+
+@dataclass
+class ClientConfig:
+    """Workload knobs for one run."""
+
+    offered_iops: float = 100_000.0
+    total_requests: int = 20_000
+    io_size: int = 1024
+    read_fraction: float = 1.0
+    batch: int = 4
+    connections: int = 4
+    max_outstanding: int = 64  # outstanding messages across connections
+    file_size: int = 256 << 20
+    seed: int = 42
+
+
+@dataclass
+class ClientResult:
+    """Measured outcome of one client run."""
+
+    achieved_iops: float
+    elapsed: float
+    latencies: List[float] = field(repr=False, default_factory=list)
+    client_cores: float = 0.0
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile, p in [0, 100]."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(
+            len(ordered) - 1, max(0, int(round(p / 100 * len(ordered))) - 1)
+        )
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+
+class WorkloadClient:
+    """Issues random file I/O against one file on a storage server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server: StorageServerBase,
+        file_id: int,
+        config: Optional[ClientConfig] = None,
+        request_factory=None,
+    ) -> None:
+        self.env = env
+        self.server = server
+        self.file_id = file_id
+        self.config = config or ClientConfig()
+        # Optional override: (request_id, rng) -> IoRequest.  The KV and
+        # page-server clients generate application requests this way.
+        self.request_factory = request_factory
+        self.rng = SeededRng(self.config.seed)
+        self.client_pool = CpuPool(env, HOST_CPU, name="client")
+        self._flows = [
+            FiveTuple("10.0.0.2", 40_000 + i, "10.0.0.1", 5000)
+            for i in range(self.config.connections)
+        ]
+        self._next_request_id = 1
+        self._issue_times: dict = {}
+        self._latencies: List[float] = []
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    # request generation
+    # ------------------------------------------------------------------
+    def _make_request(self) -> IoRequest:
+        config = self.config
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        if self.request_factory is not None:
+            return self.request_factory(request_id, self.rng)
+        max_offset = max(1, config.file_size - config.io_size)
+        # Align offsets to the I/O size, as a page-oriented client would.
+        slots = max(1, max_offset // config.io_size)
+        offset = self.rng.randrange(slots) * config.io_size
+        if self.rng.random() < config.read_fraction:
+            return IoRequest(
+                OpCode.READ, request_id, self.file_id, offset, config.io_size
+            )
+        return IoRequest(
+            OpCode.WRITE,
+            request_id,
+            self.file_id,
+            offset,
+            config.io_size,
+            bytes(config.io_size),
+        )
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self) -> ClientResult:
+        """Drive the workload to completion and return measurements."""
+        config = self.config
+        finished = self.env.event()
+        outstanding = [0]
+        waiters: List = []
+
+        def on_response(response: IoResponse) -> None:
+            issued = self._issue_times.pop(response.request_id, None)
+            if issued is not None:
+                self._latencies.append(self.env.now - issued)
+            self._completed += 1
+            if self._completed >= config.total_requests:
+                if not finished.triggered:
+                    finished.succeed()
+
+        def on_message_done(_event) -> None:
+            outstanding[0] -= 1
+            if waiters:
+                waiters.pop(0).succeed()
+
+        def generator() -> object:
+            spec = self.server.client_spec
+            issued = 0
+            message_index = 0
+            mean_gap = config.batch / config.offered_iops
+            while issued < config.total_requests:
+                yield self.env.timeout(self.rng.exponential(mean_gap))
+                if outstanding[0] >= config.max_outstanding:
+                    gate = self.env.event()
+                    waiters.append(gate)
+                    yield gate
+                count = min(config.batch, config.total_requests - issued)
+                requests = [self._make_request() for _ in range(count)]
+                issued += count
+                now = self.env.now
+                for request in requests:
+                    self._issue_times[request.request_id] = now
+                message_bytes = sum(r.wire_size for r in requests)
+                # Client-side transport CPU (counted in Figure 16).
+                self.client_pool.charge(
+                    spec.per_message_core_time
+                    + message_bytes * spec.per_byte_core_time
+                )
+                flow = self._flows[message_index % len(self._flows)]
+                message_index += 1
+                outstanding[0] += 1
+                done = self.server.submit(flow, requests, on_response)
+                done.callbacks.append(on_message_done)
+
+        start = self.env.now
+        self.env.process(generator())
+        self.env.run(until=finished)
+        elapsed = self.env.now - start
+        achieved = self._completed / elapsed if elapsed > 0 else 0.0
+        return ClientResult(
+            achieved_iops=achieved,
+            elapsed=elapsed,
+            latencies=self._latencies,
+            client_cores=self.client_pool.cores_consumed(elapsed),
+        )

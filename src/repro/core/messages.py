@@ -1,0 +1,137 @@
+"""Wire and ring encodings for storage requests and responses (Figure 9).
+
+One codec is shared by every path a request can take — client to host
+over TCP, host application to DPU over the request ring, traffic director
+to offload engine — so the traffic director can parse exactly the bytes
+the client sent.
+
+Encoding (little-endian), mirroring Figure 9:
+
+* request:  ``op(1) | request_id(8) | file_id(4) | offset(8) | size(4) |
+  tag(8)`` followed by ``size`` inlined data bytes for writes (so one
+  DMA-read moves the whole request); ``tag`` carries application-defined
+  context — the LSN of a GetPage@LSN request (§9.1), or a KV key (§9.2);
+* response: ``request_id(8) | status(1) | size(4)`` followed by the read
+  data for successful reads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+__all__ = [
+    "OpCode",
+    "IoRequest",
+    "IoResponse",
+    "REQUEST_HEADER",
+    "RESPONSE_HEADER",
+]
+
+REQUEST_HEADER = struct.Struct("<BQIQIQ")
+RESPONSE_HEADER = struct.Struct("<QBI")
+
+
+class OpCode(IntEnum):
+    """Request operation."""
+
+    READ = 1
+    WRITE = 2
+
+
+class ResponseStatus(IntEnum):
+    """Response outcome carried on the wire."""
+
+    OK = 0
+    ERROR = 1
+
+
+@dataclass
+class IoRequest:
+    """One file I/O request as issued by a client or host thread."""
+
+    op: OpCode
+    request_id: int
+    file_id: int
+    offset: int
+    size: int
+    payload: Optional[bytes] = field(default=None, repr=False)
+    tag: int = 0  # application context: LSN, KV key hash, ...
+
+    def __post_init__(self) -> None:
+        if self.op is OpCode.WRITE:
+            if self.payload is None or len(self.payload) != self.size:
+                raise ValueError("write payload must match the size field")
+        elif self.payload is not None:
+            raise ValueError("read requests carry no payload")
+
+    @property
+    def wire_size(self) -> int:
+        """Encoded size in bytes."""
+        inline = self.size if self.op is OpCode.WRITE else 0
+        return REQUEST_HEADER.size + inline
+
+    def encode(self) -> bytes:
+        """Serialize per Figure 9 (write data inlined after the header)."""
+        header = REQUEST_HEADER.pack(
+            int(self.op),
+            self.request_id,
+            self.file_id,
+            self.offset,
+            self.size,
+            self.tag,
+        )
+        if self.op is OpCode.WRITE:
+            return header + self.payload
+        return header
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IoRequest":
+        if len(data) < REQUEST_HEADER.size:
+            raise ValueError("truncated request header")
+        op, request_id, file_id, offset, size, tag = (
+            REQUEST_HEADER.unpack_from(data)
+        )
+        opcode = OpCode(op)
+        payload = None
+        if opcode is OpCode.WRITE:
+            payload = data[REQUEST_HEADER.size : REQUEST_HEADER.size + size]
+            if len(payload) != size:
+                raise ValueError("truncated write payload")
+        return cls(opcode, request_id, file_id, offset, size, payload, tag)
+
+
+@dataclass
+class IoResponse:
+    """One I/O completion flowing back to the issuer."""
+
+    request_id: int
+    ok: bool
+    data: Optional[bytes] = field(default=None, repr=False)
+
+    @property
+    def wire_size(self) -> int:
+        return RESPONSE_HEADER.size + (len(self.data) if self.data else 0)
+
+    def encode(self) -> bytes:
+        """Serialize: response header, then read data when present."""
+        size = len(self.data) if self.data else 0
+        status = ResponseStatus.OK if self.ok else ResponseStatus.ERROR
+        header = RESPONSE_HEADER.pack(self.request_id, int(status), size)
+        return header + (self.data or b"")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IoResponse":
+        if len(data) < RESPONSE_HEADER.size:
+            raise ValueError("truncated response header")
+        request_id, status, size = RESPONSE_HEADER.unpack_from(data)
+        payload = data[RESPONSE_HEADER.size : RESPONSE_HEADER.size + size]
+        if len(payload) != size:
+            raise ValueError("truncated response payload")
+        return cls(
+            request_id,
+            ResponseStatus(status) is ResponseStatus.OK,
+            payload if size else None,
+        )

@@ -1,0 +1,198 @@
+"""The offload engine (§6, Figure 13): executing reads entirely on the DPU.
+
+For each offloadable request the engine (1) applies the user's
+``off_func`` to produce a file :class:`~repro.core.api.ReadOp`, (2) leases
+a read buffer from the pre-allocated DMA pool so the SSD writes straight
+into what will become the packet payload (Figure 12's zero-copy), and
+(3) book-keeps the operation in a fixed-size *context ring* that enforces
+response ordering: completions are only released from the head, so
+responses leave in request order even though the device completes out of
+order.
+
+Backpressure follows Figure 13 lines 5-7: when the context ring (or the
+buffer pool) is exhausted, ``handle`` returns False and the traffic
+director forwards the request to the host instead.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Generator, List, Optional
+
+from ..hardware.cpu import CpuCore
+from ..hardware.specs import MICROSECOND
+from ..sim import Environment, Store
+from ..structures.cuckoo import CuckooCacheTable
+from ..structures.memory import BufferPool, DmaBuffer
+from ..structures.response import ResponseStatus
+from .api import OffloadCallbacks
+from .file_service import DpuFileService
+from .messages import IoRequest, IoResponse
+
+__all__ = ["OffloadEngine", "ContextStatus", "Context"]
+
+
+class ContextStatus(Enum):
+    """Completion status of one context-ring slot."""
+
+    PENDING = "pending"
+    COMPLETE = "complete"
+    FAILED = "failed"
+
+
+class Context:
+    """Book-keeping for one in-flight offloaded read (Figure 13)."""
+
+    __slots__ = ("request", "read_op", "buffer", "respond", "status", "data")
+
+    def __init__(
+        self,
+        request: IoRequest,
+        read_op,
+        buffer: Optional[DmaBuffer],
+        respond: Callable,
+    ) -> None:
+        self.request = request
+        self.read_op = read_op
+        self.buffer = buffer
+        self.respond = respond
+        self.status = ContextStatus.PENDING
+        self.data: Optional[bytes] = None
+
+
+class OffloadEngine:
+    """Context-ring execution of offloaded reads with zero-copy buffers."""
+
+    #: Host-core-seconds to run OffFunc + bookkeeping per request.
+    OFFFUNC_COST = 0.06 * MICROSECOND
+    #: Host-core-seconds to build indirect packet buffers per response.
+    CREATE_PKTS_COST = 0.06 * MICROSECOND
+    #: copy_mode only: straw-man per-byte copy between file service and
+    #: packet buffers (§6.2's rejected design, ablated in Figure 23).
+    COPY_COST_PER_BYTE = 0.20e-9
+
+    def __init__(
+        self,
+        env: Environment,
+        core: CpuCore,
+        file_service: DpuFileService,
+        callbacks: OffloadCallbacks,
+        cache_table: CuckooCacheTable,
+        pool: Optional[BufferPool] = None,
+        context_slots: int = 512,
+        copy_mode: bool = False,
+    ) -> None:
+        if context_slots < 1:
+            raise ValueError("context ring needs at least one slot")
+        self.env = env
+        self.core = core
+        self.file_service = file_service
+        self.callbacks = callbacks
+        self.cache_table = cache_table
+        self.pool = pool if pool is not None else BufferPool(256 << 20)
+        self.context_slots = context_slots
+        self.copy_mode = copy_mode
+        self._ring: List[Optional[Context]] = [None] * context_slots
+        self._head = 0
+        self._tail = 0
+        self._completing = False  # re-entrancy guard for _complete_ready
+        self._notify: Store = Store(env)
+        self.offloaded = 0
+        self.bounced_ring_full = 0
+        self.bounced_no_buffer = 0
+        self.bounced_off_func = 0
+        env.process(self._completion_pump())
+
+    # ------------------------------------------------------------------
+    # request intake (runs on the director's core)
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._tail - self._head
+
+    def handle(self, request: IoRequest, respond: Callable) -> Generator:
+        """Try to execute ``request`` on the DPU; False -> host fallback.
+
+        ``respond(IoResponse)`` is invoked (via the traffic director) when
+        this request's turn at the head of the context ring comes up.
+        """
+        yield from self._complete_ready()
+        yield from self.core.execute(self.OFFFUNC_COST)
+        read_op = self.callbacks.off_func(request, self.cache_table)
+        if read_op is None:
+            self.bounced_off_func += 1
+            return False
+        buffer = self.pool.allocate(max(1, read_op.size))
+        if buffer is None:
+            self.bounced_no_buffer += 1
+            return False
+        # The capacity check and the slot insert must not be separated
+        # by a yield: concurrent handle() calls would otherwise both pass
+        # the check and overwrite a live slot.
+        if self.in_flight >= self.context_slots:
+            self.bounced_ring_full += 1
+            buffer.release()
+            return False
+        context = Context(request, read_op, buffer, respond)
+        self._ring[self._tail % self.context_slots] = context
+        self._tail += 1
+        self.offloaded += 1
+        self.env.process(
+            self.file_service.execute_offloaded(
+                read_op, self._completion_callback(context)
+            )
+        )
+        return True
+
+    def _completion_callback(self, context: Context) -> Callable:
+        def on_complete(status: ResponseStatus, data: Optional[bytes]):
+            if status is ResponseStatus.SUCCESS:
+                context.status = ContextStatus.COMPLETE
+                context.data = data
+            else:
+                context.status = ContextStatus.FAILED
+            self._notify.try_put(True)
+
+        return on_complete
+
+    # ------------------------------------------------------------------
+    # ordered completion (Figure 13, CompletePending)
+    # ------------------------------------------------------------------
+    def _completion_pump(self) -> Generator:
+        """Continually process completions (Figure 13 line 16)."""
+        while True:
+            yield self._notify.get()
+            yield from self._complete_ready()
+
+    def _complete_ready(self) -> Generator:
+        """Release completed contexts from the head, preserving order.
+
+        Both the intake path and the completion pump call this; the
+        guard ensures only one walker advances the head at a time (the
+        engine is single-core, so concurrent walkers would model a data
+        race that the real single-threaded engine cannot have).
+        """
+        if self._completing:
+            return
+        self._completing = True
+        try:
+            while self._head < self._tail:
+                context = self._ring[self._head % self.context_slots]
+                if context.status is ContextStatus.PENDING:
+                    break  # stop at the first pending read: ordering
+                yield from self.core.execute(self.CREATE_PKTS_COST)
+                if self.copy_mode and context.data is not None:
+                    yield from self.core.execute(
+                        self.COPY_COST_PER_BYTE * len(context.data)
+                    )
+                response = IoResponse(
+                    context.request.request_id,
+                    context.status is ContextStatus.COMPLETE,
+                    context.data,
+                )
+                self._ring[self._head % self.context_slots] = None
+                self._head += 1
+                context.buffer.release()
+                context.respond(response)
+        finally:
+            self._completing = False

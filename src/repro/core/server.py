@@ -1,0 +1,428 @@
+"""Assembled storage servers: the baseline and the two DDS deployments.
+
+Three server flavours correspond to the three curves of Figures 14-15:
+
+* :class:`BaselineServer` — today's disaggregated storage: Windows
+  sockets TCP + the DBMS network module on the host, OS filesystem I/O.
+* :class:`DdsLibraryServer` — the host application keeps its network
+  stack but replaces OS files with the DDS file library; file execution
+  happens on the DPU file service.
+* :class:`DdsOffloadServer` — full DDS: the NIC's signature match and the
+  traffic director steer read requests to the offload engine, which
+  serves them without touching the host; writes (and cache-miss reads)
+  fall back to the host library path over the split connection.
+
+All servers expose the same ``submit`` interface to the workload client
+and the same cores-consumed accounting, so every benchmark swaps servers
+without touching the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from ..hardware.cpu import CpuCore, CpuPool
+from ..hardware.nic import NetworkLink
+from ..hardware.pcie import DmaEngine
+from ..hardware.specs import (
+    BENCH_APP_NET,
+    DPU_CPU,
+    HOST_APP_OTHER,
+    HOST_CPU,
+    HOST_OS_TCP,
+    MICROSECOND,
+    RDMA_VERBS,
+    StackSpec,
+)
+from ..net.packet import AppSignature, FiveTuple
+from ..net.stack import StackLayer
+from ..sim import Environment, Event
+from ..storage.filesystem import DdsFileSystem, FileSystemError
+from ..storage.osfs import OsFileSystem
+from ..structures.cuckoo import CuckooCacheTable
+from ..structures.memory import BufferPool
+from .api import OffloadCallbacks, passthrough_callbacks
+from .file_library import DdsFileLibrary, PollMode
+from .file_service import DpuFileService
+from .messages import IoRequest, IoResponse, OpCode
+from .offload_engine import OffloadEngine
+from .traffic_director import TrafficDirector
+
+__all__ = [
+    "StorageServerBase",
+    "BaselineServer",
+    "DdsLibraryServer",
+    "DdsOffloadServer",
+]
+
+
+class StorageServerBase:
+    """Shared wiring: link, host CPU pool, response fan-in, accounting."""
+
+    #: Transport stack the *client* machine pays per message (Figure 16
+    #: accounts client + server CPU); TCP solutions use the OS stack.
+    client_spec: StackSpec = HOST_OS_TCP
+
+    def __init__(self, env: Environment, link: NetworkLink) -> None:
+        self.env = env
+        self.link = link
+        self.host_pool = CpuPool(env, HOST_CPU)
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # client-facing API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        flow: FiveTuple,
+        requests: Sequence[IoRequest],
+        on_response: Optional[Callable[[IoResponse], None]] = None,
+    ) -> Event:
+        """Send one client message; the event triggers when every
+        request in it has been answered (responses also stream through
+        ``on_response`` as they arrive at the client)."""
+        done = self.env.event()
+        remaining = [len(requests)]
+        responses: List[IoResponse] = []
+
+        def arrived(response: IoResponse) -> None:
+            responses.append(response)
+            if on_response is not None:
+                on_response(response)
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.succeed(responses)
+
+        self.env.process(self._ingress(flow, list(requests), arrived))
+        return done
+
+    def _ingress(
+        self,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        arrived: Callable,
+    ) -> Generator:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def host_cores(self, elapsed: float) -> float:
+        """Average host cores consumed over ``elapsed`` seconds."""
+        return self.host_pool.cores_consumed(elapsed)
+
+    def dpu_cores(self, elapsed: float) -> float:
+        """Average DPU cores consumed (0 for host-only servers)."""
+        return 0.0
+
+
+class BaselineServer(StorageServerBase):
+    """Windows sockets + OS filesystem: the paper's baseline (§8.1)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: NetworkLink,
+        filesystem: DdsFileSystem,
+        app_handler: Optional[Callable] = None,
+        app_net_spec: StackSpec = BENCH_APP_NET,
+    ) -> None:
+        super().__init__(env, link)
+        self.os_tcp = StackLayer(env, HOST_OS_TCP, self.host_pool)
+        self.app_net = StackLayer(env, app_net_spec, self.host_pool)
+        self.app_other = StackLayer(env, HOST_APP_OTHER, self.host_pool)
+        self.osfs = OsFileSystem(env, filesystem, self.host_pool)
+        # Application override: (IoRequest) -> generator yielding events,
+        # returning an IoResponse.  Default is plain file semantics.
+        self.app_handler = app_handler
+
+    def host_cores(self, elapsed: float) -> float:
+        """Average host cores consumed over ``elapsed`` seconds."""
+        pool = self.host_pool.cores_consumed(elapsed)
+        return pool + self.osfs.serializer.utilization(elapsed)
+
+    def _ingress(
+        self,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        arrived: Callable,
+    ) -> Generator:
+        message_bytes = sum(r.wire_size for r in requests)
+        yield from self.link.transmit("client_to_server", message_bytes)
+        yield self.env.timeout(self.link.spec.host_forward)
+        yield from self.os_tcp.process(message_bytes)
+        yield from self.app_net.process(message_bytes)
+        served = [self.env.process(self._serve(r)) for r in requests]
+        responses: List[IoResponse] = yield self.env.all_of(served)
+        response_bytes = sum(r.wire_size for r in responses)
+        yield from self.app_net.process(response_bytes)
+        yield from self.os_tcp.process(response_bytes)
+        yield from self.link.transmit("server_to_client", response_bytes)
+        for response in responses:
+            arrived(response)
+
+    def _serve(self, request: IoRequest) -> Generator:
+        yield from self.app_other.process(request.wire_size)
+        try:
+            if self.app_handler is not None:
+                response = yield self.env.process(self.app_handler(request))
+            elif request.op is OpCode.READ:
+                data = yield self.env.process(
+                    self.osfs.read(
+                        request.file_id, request.offset, request.size
+                    )
+                )
+                response = IoResponse(request.request_id, True, data)
+            else:
+                yield self.env.process(
+                    self.osfs.write(
+                        request.file_id, request.offset, request.payload
+                    )
+                )
+                response = IoResponse(request.request_id, True)
+        except FileSystemError:
+            response = IoResponse(request.request_id, False)
+        self.requests_served += 1
+        return response
+
+
+class _DdsHostSide:
+    """Host application logic shared by both DDS deployments.
+
+    Owns the DDS file library, a set of notification groups (one per
+    simulated application thread), the completion pump that resolves
+    request ids back to waiters, and the host app's single I/O dispatch
+    thread whose serialized per-request work bounds the library path's
+    throughput (see DESIGN.md §4 on this calibration assumption).
+    """
+
+    DISPATCH_COST = 1.7 * MICROSECOND
+    GROUPS = 4
+
+    def __init__(
+        self,
+        env: Environment,
+        host_pool: CpuPool,
+        library: DdsFileLibrary,
+    ) -> None:
+        self.env = env
+        self.host_pool = host_pool
+        self.library = library
+        self.dispatch_core = CpuCore(env, speed=1.0, name="app-dispatch")
+        self.app_other = StackLayer(env, HOST_APP_OTHER, host_pool)
+        self.groups = [library.create_poll() for _ in range(self.GROUPS)]
+        self._waiters: Dict[int, Event] = {}
+        self._registered_files: set = set()
+        for group in self.groups:
+            env.process(self._completion_pump(group))
+
+    def register_file(self, file_id: int) -> None:
+        """Spread files across notification groups round-robin."""
+        if file_id in self._registered_files:
+            return
+        group = self.groups[len(self._registered_files) % len(self.groups)]
+        self.library.poll_add(group, file_id)
+        self._registered_files.add(file_id)
+
+    def _completion_pump(self, group) -> Generator:
+        while True:
+            completion = yield self.env.process(
+                self.library.poll_wait(group, PollMode.SLEEPING)
+            )
+            request_id, ok, data = completion
+            waiter = self._waiters.pop(request_id, None)
+            if waiter is not None:
+                waiter.succeed(IoResponse(request_id, ok, data))
+
+    def serve(self, request: IoRequest) -> Generator:
+        """Application processing + library issue + completion wait."""
+        yield from self.app_other.process(request.wire_size)
+        yield from self.dispatch_core.execute(self.DISPATCH_COST)
+        self.register_file(request.file_id)
+        if request.op is OpCode.READ:
+            request_id = yield from self.library.read_file(
+                request.file_id, request.offset, request.size
+            )
+        else:
+            request_id = yield from self.library.write_file(
+                request.file_id, request.offset, request.payload
+            )
+        waiter = self.env.event()
+        self._waiters[request_id] = waiter
+        response: IoResponse = yield waiter
+        return response
+
+
+class DdsLibraryServer(StorageServerBase):
+    """Host networking + DDS file library; file execution on the DPU."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: NetworkLink,
+        filesystem: DdsFileSystem,
+        copy_mode: bool = False,
+        transport_spec: StackSpec = HOST_OS_TCP,
+    ) -> None:
+        super().__init__(env, link)
+        self.client_spec = transport_spec
+        self.dma = DmaEngine(env)
+        self.dma_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-dma")
+        self.spdk_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-spdk")
+        self.file_service = DpuFileService(
+            env, filesystem, self.dma_core, self.spdk_core, copy_mode
+        )
+        self.library = DdsFileLibrary(
+            env, self.host_pool, self.file_service, self.dma
+        )
+        self.host_side = _DdsHostSide(env, self.host_pool, self.library)
+        self.transport = StackLayer(env, transport_spec, self.host_pool)
+        self.app_net = StackLayer(env, BENCH_APP_NET, self.host_pool)
+        self.file_service.start()
+
+    def host_cores(self, elapsed: float) -> float:
+        """Average host cores consumed over ``elapsed`` seconds."""
+        pool = self.host_pool.cores_consumed(elapsed)
+        return pool + self.host_side.dispatch_core.utilization(elapsed)
+
+    def dpu_cores(self, elapsed: float) -> float:
+        """Average DPU cores consumed over ``elapsed`` seconds."""
+        return self.dma_core.utilization(elapsed) + self.spdk_core.utilization(
+            elapsed
+        )
+
+    def _ingress(
+        self,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        arrived: Callable,
+    ) -> Generator:
+        message_bytes = sum(r.wire_size for r in requests)
+        yield from self.link.transmit("client_to_server", message_bytes)
+        yield self.env.timeout(self.link.spec.host_forward)
+        yield from self.transport.process(message_bytes)
+        yield from self.app_net.process(message_bytes)
+        served = [
+            self.env.process(self.host_side.serve(r)) for r in requests
+        ]
+        responses: List[IoResponse] = yield self.env.all_of(served)
+        response_bytes = sum(r.wire_size for r in responses)
+        yield from self.app_net.process(response_bytes)
+        yield from self.transport.process(response_bytes)
+        yield from self.link.transmit("server_to_client", response_bytes)
+        self.requests_served += len(responses)
+        for response in responses:
+            arrived(response)
+
+
+class DdsOffloadServer(StorageServerBase):
+    """Full DDS: traffic director + offload engine on the DPU (§5-§6)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: NetworkLink,
+        filesystem: DdsFileSystem,
+        callbacks: Optional[OffloadCallbacks] = None,
+        signature: Optional[AppSignature] = None,
+        cache_items: int = 1 << 20,
+        director_cores: int = 1,
+        context_slots: int = 1024,
+        copy_mode: bool = False,
+        rdma_transport: bool = False,
+        host_app: Optional[Callable] = None,
+    ) -> None:
+        super().__init__(env, link)
+        callbacks = callbacks or passthrough_callbacks()
+        signature = signature or AppSignature(server_port=5000)
+        self.callbacks = callbacks
+        self.dma = DmaEngine(env)
+        self.dma_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-dma")
+        self.spdk_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-spdk")
+        self.director_core_list = [
+            CpuCore(env, speed=DPU_CPU.speed, name=f"dpu-director-{i}")
+            for i in range(director_cores)
+        ]
+        self.file_service = DpuFileService(
+            env, filesystem, self.dma_core, self.spdk_core, copy_mode
+        )
+        self.cache_table = CuckooCacheTable(cache_items)
+        self.file_service.set_offload_hooks(callbacks, self.cache_table)
+        self.library = DdsFileLibrary(
+            env, self.host_pool, self.file_service, self.dma
+        )
+        self.host_side = _DdsHostSide(env, self.host_pool, self.library)
+        # Application override for requests bounced to the host (KV gets,
+        # GetPage@LSN); default is plain file semantics via the library.
+        self.host_app = host_app
+        transport = RDMA_VERBS if rdma_transport else HOST_OS_TCP
+        self.client_spec = RDMA_VERBS if rdma_transport else HOST_OS_TCP
+        self.transport = StackLayer(env, transport, self.host_pool)
+        self.app_net = StackLayer(env, BENCH_APP_NET, self.host_pool)
+        self.engine = OffloadEngine(
+            env,
+            self.director_core_list[0],
+            self.file_service,
+            callbacks,
+            self.cache_table,
+            BufferPool(256 << 20),
+            context_slots=context_slots,
+            copy_mode=copy_mode,
+        )
+        self.director = TrafficDirector(
+            env,
+            link,
+            self.director_core_list,
+            signature,
+            callbacks,
+            self.cache_table,
+            self.engine,
+            self._host_handler,
+            rdma=rdma_transport,
+        )
+        self.file_service.start()
+
+    def host_cores(self, elapsed: float) -> float:
+        """Average host cores consumed over ``elapsed`` seconds."""
+        pool = self.host_pool.cores_consumed(elapsed)
+        return pool + self.host_side.dispatch_core.utilization(elapsed)
+
+    def dpu_cores(self, elapsed: float) -> float:
+        """Average DPU cores consumed over ``elapsed`` seconds."""
+        total = self.dma_core.utilization(elapsed)
+        total += self.spdk_core.utilization(elapsed)
+        for core in self.director_core_list:
+            total += core.utilization(elapsed)
+        return total
+
+    def _ingress(
+        self,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        arrived: Callable,
+    ) -> Generator:
+        message_bytes = sum(r.wire_size for r in requests)
+        yield from self.link.transmit("client_to_server", message_bytes)
+        # NIC hardware evaluates the signature at line rate; matching
+        # packets go to the director, others to the host inside
+        # receive_message.
+        yield self.env.process(
+            self.director.receive_message(flow, requests, arrived)
+        )
+        self.requests_served += len(requests)
+
+    def _host_handler(
+        self, requests: Sequence[IoRequest], respond: Callable
+    ) -> Generator:
+        """Host fallback over the split connection (writes, bounces)."""
+        message_bytes = sum(r.wire_size for r in requests)
+        yield from self.transport.process(message_bytes)
+        yield from self.app_net.process(message_bytes)
+        handler = self.host_app or self.host_side.serve
+        served = [self.env.process(handler(r)) for r in requests]
+        responses: List[IoResponse] = yield self.env.all_of(served)
+        response_bytes = sum(r.wire_size for r in responses)
+        yield from self.app_net.process(response_bytes)
+        yield from self.transport.process(response_bytes)
+        for response in responses:
+            respond(response)

@@ -1,0 +1,183 @@
+"""The traffic director (§5): bump-in-the-wire packet steering on the DPU.
+
+Stage one — the *application signature* — is evaluated by the NIC's
+hardware match engine at line rate, so flows of no interest forward to
+the host with zero Arm-core involvement (§5.3).  Stage two — the
+*offload predicate* — runs on a DPU core selected by symmetric RSS over
+the flow's five-tuple, reassembles user messages from the (split) TCP
+stream, and dispatches each request either to the offload engine or to
+the host over the second leg of the split connection.
+
+Costs are charged per packet on the owning core, calibrated against
+Figure 21 (6.4 Gbps directed per Arm core) and the end-to-end offload
+throughput of Figure 14a.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from ..hardware.cpu import CpuCore
+from ..hardware.nic import NetworkLink
+from ..hardware.specs import MICROSECOND
+from ..net.packet import AppSignature, FiveTuple
+from ..sim import Environment
+from ..structures.cuckoo import CuckooCacheTable
+from .api import OffloadCallbacks
+from .messages import IoRequest, IoResponse
+from .offload_engine import OffloadEngine
+
+__all__ = ["TrafficDirector"]
+
+#: Host handler signature: (requests, respond) -> process generator.
+HostHandler = Callable[[Sequence[IoRequest], Callable], Generator]
+
+
+class TrafficDirector:
+    """TLDK-based userspace packet processing with RSS core steering."""
+
+    #: Host-core-seconds of TLDK receive processing per packet.
+    RX_COST_PER_PACKET = 0.12 * MICROSECOND
+    #: Host-core-seconds to emit one (indirect, zero-copy) packet.
+    TX_COST_PER_PACKET = 0.10 * MICROSECOND
+    #: Host-core-seconds per OffPred invocation per request.
+    OFFPRED_COST = 0.03 * MICROSECOND
+    #: Host-core-seconds to relay one host-bound packet over the split
+    #: connection (full bump-in-the-wire forward).  Anchor: Figure 21 --
+    #: one Arm core directs ~6.4 Gbps of MTU-sized traffic.
+    FORWARD_COST_PER_PACKET = 0.36 * MICROSECOND
+    #: Cost scale when messages arrive over RDMA instead of split TCP
+    #: (§8.4 ⑩: the DDS-RDMA port skips TLDK's TCP processing).
+    RDMA_COST_SCALE = 0.4
+
+    def __init__(
+        self,
+        env: Environment,
+        link: NetworkLink,
+        cores: List[CpuCore],
+        signature: AppSignature,
+        callbacks: OffloadCallbacks,
+        cache_table: CuckooCacheTable,
+        engine: Optional[OffloadEngine],
+        host_handler: HostHandler,
+        rdma: bool = False,
+    ) -> None:
+        if not cores:
+            raise ValueError("traffic director needs at least one core")
+        self.env = env
+        self.link = link
+        self.cores = cores
+        self.signature = signature
+        self.callbacks = callbacks
+        self.cache_table = cache_table
+        self.engine = engine
+        self.host_handler = host_handler
+        self.rdma = rdma
+        self._cost_scale = self.RDMA_COST_SCALE if rdma else 1.0
+        self.messages_seen = 0
+        self.requests_offloaded = 0
+        self.requests_to_host = 0
+        self.unmatched_messages = 0
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def core_for(self, flow: FiveTuple) -> CpuCore:
+        """Symmetric RSS: both directions of a flow share one core (§7)."""
+        return self.cores[flow.rss_hash(len(self.cores))]
+
+    def receive_message(
+        self,
+        flow: FiveTuple,
+        requests: Sequence[IoRequest],
+        respond: Callable,
+    ) -> Generator:
+        """Process one client message that arrived at the NIC.
+
+        ``respond(IoResponse)`` delivers each request's response back to
+        the client through :meth:`send_response`.  Requests that match
+        the signature but cannot be offloaded are forwarded to the host
+        handler (paying the Arm-core forward hop, §5.3).
+        """
+        if not self.signature.matches(flow):
+            # Hardware signature mismatch: line-rate forward to the host
+            # with no DPU core involvement at all; the host responds
+            # directly through the NIC.
+            self.unmatched_messages += 1
+            yield self.env.timeout(self.link.spec.host_forward)
+            yield self.env.process(
+                self.host_handler(
+                    list(requests), self._host_direct_sender(respond)
+                )
+            )
+            return
+        core = self.core_for(flow)
+        self.messages_seen += 1
+        message_bytes = sum(r.wire_size for r in requests)
+        packets = self.link.packets_for(message_bytes)
+        yield from core.execute(
+            self._cost_scale * self.RX_COST_PER_PACKET * packets
+            + self.OFFPRED_COST * len(requests)
+        )
+        host_requests, dpu_requests = self.callbacks.off_pred(
+            requests, self.cache_table
+        )
+        wrapped = self._response_sender(flow, respond)
+        for request in dpu_requests:
+            accepted = False
+            if self.engine is not None:
+                accepted = yield from self.engine.handle(request, wrapped)
+            if accepted:
+                self.requests_offloaded += 1
+            else:
+                host_requests.append(request)
+        if host_requests:
+            self.requests_to_host += len(host_requests)
+            host_bytes = sum(r.wire_size for r in host_requests)
+            yield from core.execute(
+                self._cost_scale
+                * self.FORWARD_COST_PER_PACKET
+                * self.link.packets_for(host_bytes)
+            )
+            # Off-path Arm-core forward to the host (~6 us on BF-2).
+            yield self.env.timeout(self.link.spec.dpu_forward)
+            self.env.process(self.host_handler(host_requests, wrapped))
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+    def _host_direct_sender(self, respond: Callable) -> Callable:
+        """Host-direct response path for flows the DPU never touched."""
+
+        def send(response: IoResponse) -> None:
+            self.env.process(self._host_direct(response, respond))
+
+        return send
+
+    def _host_direct(
+        self, response: IoResponse, respond: Callable
+    ) -> Generator:
+        yield from self.link.transmit("server_to_client", response.wire_size)
+        respond(response)
+
+    def _response_sender(
+        self, flow: FiveTuple, respond: Callable
+    ) -> Callable:
+        def send(response: IoResponse) -> None:
+            self.env.process(self.send_response(flow, response, respond))
+
+        return send
+
+    def send_response(
+        self, flow: FiveTuple, response: IoResponse, respond: Callable
+    ) -> Generator:
+        """Emit a response to the client: TLDK send + wire transfer."""
+        core = self.core_for(flow)
+        packets = self.link.packets_for(response.wire_size)
+        yield from core.execute(
+            self._cost_scale * self.TX_COST_PER_PACKET * packets
+        )
+        yield from self.link.transmit(
+            "server_to_client", response.wire_size
+        )
+        respond(response)

@@ -1,0 +1,63 @@
+"""Future-work extensions the paper sketches in §11, implemented.
+
+Hardware-accelerator models (compression, regex) with real data
+transforms, compressed page serving on the DPU, and string-operator
+pushdown using the regex engine.
+"""
+
+from .accelerators import (
+    ARM_SOFTWARE_COMPRESSION,
+    ARM_SOFTWARE_REGEX,
+    BF2_COMPRESSION,
+    BF2_REGEX,
+    AcceleratorSpec,
+    HardwareAccelerator,
+    compile_pattern,
+    compress_page,
+    decompress_page,
+    regex_scan,
+)
+from .dpu_cache import (
+    CachedReadResult,
+    DpuReadCache,
+    run_dpu_cache_experiment,
+)
+from .multitenancy import (
+    DrrScheduler,
+    FairnessResult,
+    TenantStats,
+    run_multitenant_experiment,
+)
+from .compressed_storage import (
+    CompressedPageStore,
+    CompressedReadResult,
+    run_compressed_read_experiment,
+)
+from .pushdown import MODES, PushdownScanner, ScanResult, run_pushdown_experiment
+
+__all__ = [
+    "ARM_SOFTWARE_COMPRESSION",
+    "CachedReadResult",
+    "DpuReadCache",
+    "DrrScheduler",
+    "FairnessResult",
+    "TenantStats",
+    "run_dpu_cache_experiment",
+    "run_multitenant_experiment",
+    "ARM_SOFTWARE_REGEX",
+    "AcceleratorSpec",
+    "BF2_COMPRESSION",
+    "BF2_REGEX",
+    "CompressedPageStore",
+    "CompressedReadResult",
+    "HardwareAccelerator",
+    "MODES",
+    "PushdownScanner",
+    "ScanResult",
+    "compile_pattern",
+    "compress_page",
+    "decompress_page",
+    "regex_scan",
+    "run_compressed_read_experiment",
+    "run_pushdown_experiment",
+]

@@ -1,0 +1,136 @@
+"""NVMe SSD service model.
+
+An SSD is modelled as ``parallelism`` concurrent service slots (the
+device's internal channel/NAND parallelism).  Each operation holds a slot
+for ``base_latency + size / bandwidth`` plus a small truncated-exponential
+jitter that produces realistic tail latencies.  Queue-depth effects — the
+latency growth the paper's throughput/latency curves (Figures 15, 24) show
+as load approaches the device ceiling — emerge from slot contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..sim import Environment, Resource, SeededRng
+from .specs import NVME_1TB, SsdSpec
+
+__all__ = ["IoStats", "NvmeDevice", "DeviceError"]
+
+
+class DeviceError(Exception):
+    """A device-level I/O failure (media error, timeout)."""
+
+
+@dataclass
+class IoStats:
+    """Completed-operation counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    busy_time: float = field(default=0.0, repr=False)
+
+    @property
+    def ops(self) -> int:
+        return self.reads + self.writes
+
+
+class NvmeDevice:
+    """A simulated NVMe SSD with asynchronous submit/complete semantics."""
+
+    #: Jitter, as a fraction of the base latency (truncated exponential).
+    JITTER_FRACTION = 0.08
+    JITTER_CAP = 25.0
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: SsdSpec = NVME_1TB,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.rng = rng if rng is not None else SeededRng(0x55D)
+        self.stats = IoStats()
+        self._slots = Resource(env, capacity=spec.parallelism)
+        # Data transfers share one internal bus: aggregate throughput is
+        # capped at the spec's bandwidth even with all slots busy.
+        self._bus = Resource(env, capacity=1)
+        # Fault injection: probabilistic media errors plus a one-shot
+        # "fail the next N operations" knob for targeted tests.
+        self.error_rate = 0.0
+        self._forced_errors = 0
+        self.errors = 0
+
+    def inject_errors(self, count: int = 1) -> None:
+        """Force the next ``count`` operations to fail with DeviceError."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._forced_errors += count
+
+    def _maybe_fail(self) -> None:
+        if self._forced_errors > 0:
+            self._forced_errors -= 1
+            self.errors += 1
+            raise DeviceError("injected device error")
+        if self.error_rate > 0 and self.rng.random() < self.error_rate:
+            self.errors += 1
+            raise DeviceError("media error")
+
+    @property
+    def queue_depth(self) -> int:
+        """Operations in service plus waiting."""
+        return self._slots.in_use + self._slots.queue_length
+
+    def read(self, size: int) -> Generator:
+        """Process generator servicing one read of ``size`` bytes."""
+        yield from self._service(
+            size, self.spec.read_latency, self.spec.read_bandwidth, False
+        )
+
+    def write(self, size: int) -> Generator:
+        """Process generator servicing one write of ``size`` bytes."""
+        yield from self._service(
+            size, self.spec.write_latency, self.spec.write_bandwidth, True
+        )
+
+    def submit_read(self, size: int):
+        """Start a read as a process; returns its completion event."""
+        return self.env.process(self.read(size))
+
+    def submit_write(self, size: int):
+        """Start a write as a process; returns its completion event."""
+        return self.env.process(self.write(size))
+
+    def _service(
+        self, size: int, base: float, bandwidth: float, is_write: bool
+    ) -> Generator:
+        if size <= 0:
+            raise ValueError("I/O size must be positive")
+        grant = self._slots.request()
+        yield grant
+        try:
+            jitter = self.rng.bounded_exponential(
+                base * self.JITTER_FRACTION, self.JITTER_CAP
+            )
+            start = self.env.now
+            yield self.env.timeout(base + jitter)
+            self._maybe_fail()  # after seek/service: the op burned time
+            bus_grant = self._bus.request()
+            yield bus_grant
+            try:
+                yield self.env.timeout(size / bandwidth)
+            finally:
+                self._bus.release()
+            self.stats.busy_time += self.env.now - start
+            if is_write:
+                self.stats.writes += 1
+                self.stats.write_bytes += size
+            else:
+                self.stats.reads += 1
+                self.stats.read_bytes += size
+        finally:
+            self._slots.release()

@@ -1,0 +1,167 @@
+"""Transport transparency: TCP splitting vs. naive partial offload (§5.2).
+
+Two ways for a DPU to take over part of a client→host TCP connection:
+
+* :class:`NaiveOffloadPath` — the broken strawman of Figure 11.  The DPU
+  silently consumes offloadable segments and forwards the rest to the
+  host *unmodified*.  The host's TCP sees sequence-number gaps where the
+  DPU consumed bytes, emits duplicate ACKs, and the client's fast
+  retransmit resends everything the DPU already served.
+* :class:`TcpSplittingPep` — DDS's fix.  The traffic director acts as a
+  performance-enhancing proxy that terminates the client connection on
+  the DPU and relays host-bound *messages* over a second, independent
+  DPU→host connection.  Both connections see perfectly in-order streams,
+  so no spurious recovery is ever triggered.
+
+User messages are framed with a 4-byte length prefix
+(:class:`LengthPrefixFramer`), matching the request encoding of Figure 9.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Tuple
+
+from .packet import Segment
+from .tcp import TcpReceiver, TcpSender
+
+__all__ = ["LengthPrefixFramer", "TcpSplittingPep", "NaiveOffloadPath"]
+
+_LEN = struct.Struct("<I")
+
+
+class LengthPrefixFramer:
+    """Reassembles length-prefixed messages from a TCP byte stream."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Append stream bytes; return every complete message."""
+        self._buffer.extend(data)
+        messages: List[bytes] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                break
+            (length,) = _LEN.unpack(self._buffer[: _LEN.size])
+            total = _LEN.size + length
+            if len(self._buffer) < total:
+                break
+            messages.append(bytes(self._buffer[_LEN.size : total]))
+            del self._buffer[:total]
+        return messages
+
+    @staticmethod
+    def encode(message: bytes) -> bytes:
+        """Frame one message for transmission."""
+        return _LEN.pack(len(message)) + message
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a complete message."""
+        return len(self._buffer)
+
+
+class TcpSplittingPep:
+    """DDS's traffic director as a TCP-splitting PEP.
+
+    The client connection terminates at the DPU (``client_side``
+    receiver); a second connection (``host_sender`` → the host's
+    receiver) relays messages the offload predicate rejects.  The
+    ``off_pred`` callable receives each reassembled user message and
+    returns True to offload it to the DPU's offload engine.
+    """
+
+    def __init__(self, off_pred: Callable[[bytes], bool]) -> None:
+        self.off_pred = off_pred
+        self.client_side = TcpReceiver()
+        self.host_sender = TcpSender()
+        # Response legs: the host answers on its connection (received
+        # here) and the proxy relays every response — host-produced or
+        # DPU-produced — to the client on the client connection's
+        # reverse direction, as one ordered stream.
+        self.client_sender = TcpSender()
+        self.host_response_side = TcpReceiver()
+        self._framer = LengthPrefixFramer()
+        self._host_response_framer = LengthPrefixFramer()
+        self.offloaded: List[bytes] = []
+        self.forwarded: List[bytes] = []
+        self.responses_relayed = 0
+
+    def on_client_segment(
+        self, segment: Segment
+    ) -> Tuple[Segment, List[Segment]]:
+        """Process one client segment.
+
+        Returns ``(ack_to_client, segments_for_host)``.  The ACK belongs
+        to the client↔DPU connection; the host segments belong to the
+        DPU↔host connection and carry *its* sequence space.
+        """
+        ack = self.client_side.on_segment(segment)
+        data = self.client_side.read()
+        for message in self._framer.feed(data):
+            if self.off_pred(message):
+                self.offloaded.append(message)
+            else:
+                self.forwarded.append(message)
+                self.host_sender.write(LengthPrefixFramer.encode(message))
+        return ack, self.host_sender.transmit()
+
+    def on_host_ack(self, ack: Segment) -> List[Segment]:
+        """Feed an ACK from the host connection back to the relay sender."""
+        if ack.ack is None:
+            raise ValueError("segment is not an ACK")
+        return self.host_sender.on_ack(ack.ack)
+
+    # ------------------------------------------------------------------
+    # response path (DPU -> client)
+    # ------------------------------------------------------------------
+    def send_response(self, message: bytes) -> List[Segment]:
+        """Queue one response (e.g., from the offload engine) for the
+        client and emit whatever the client-leg window allows."""
+        self.client_sender.write(LengthPrefixFramer.encode(message))
+        self.responses_relayed += 1
+        return self.client_sender.transmit()
+
+    def on_host_response_segment(
+        self, segment: Segment
+    ) -> Tuple[Segment, List[Segment]]:
+        """A response segment arriving from the host connection.
+
+        Returns ``(ack_to_host, segments_for_client)``: complete host
+        responses are re-framed onto the client leg, interleaving with
+        offloaded responses in one ordered stream.
+        """
+        ack = self.host_response_side.on_segment(segment)
+        data = self.host_response_side.read()
+        client_segments: List[Segment] = []
+        for message in self._host_response_framer.feed(data):
+            client_segments += self.send_response(message)
+        return ack, client_segments
+
+    def on_client_ack(self, ack: Segment) -> List[Segment]:
+        """Client ACK for relayed responses; returns retransmissions."""
+        if ack.ack is None:
+            raise ValueError("segment is not an ACK")
+        return self.client_sender.on_ack(ack.ack)
+
+
+class NaiveOffloadPath:
+    """The Figure 11 strawman: consume offloaded segments, forward the rest.
+
+    No proxying — forwarded segments keep their original client sequence
+    numbers, so the host receiver observes gaps exactly where the DPU
+    consumed data.
+    """
+
+    def __init__(self, off_pred: Callable[[Segment], bool]) -> None:
+        self.off_pred = off_pred
+        self.host_receiver = TcpReceiver()
+        self.offloaded: List[Segment] = []
+
+    def on_client_segment(self, segment: Segment) -> Optional[Segment]:
+        """Returns the host's ACK, or None when the DPU consumed the segment."""
+        if self.off_pred(segment):
+            self.offloaded.append(segment)
+            return None
+        return self.host_receiver.on_segment(segment)

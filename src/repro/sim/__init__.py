@@ -1,0 +1,33 @@
+"""Discrete-event simulation engine (SimPy-like, dependency-free)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Container, Resource, Store
+from .rng import SeededRng, ZipfGenerator
+from .trace import EventLog, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "EventLog",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SeededRng",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "ZipfGenerator",
+]

@@ -1,0 +1,384 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free engine in the style of SimPy: simulation
+*processes* are Python generators that ``yield`` :class:`Event` objects and
+are resumed when those events trigger.  The :class:`Environment` owns the
+virtual clock and the event heap.
+
+The engine is the substrate on which every hardware and protocol model in
+this repository runs (CPU cores, SSDs, DMA engines, network links, TCP).
+It is deliberately minimal but complete: events carry values or failures,
+processes are themselves events (so they can be awaited and composed), and
+``AllOf``/``AnyOf`` provide fork/join.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (e.g., re-triggering an event)."""
+
+
+#: Sentinel distinguishing "no value yet" from a triggered ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *pending*, is *triggered* with either a value
+    (:meth:`succeed`) or an exception (:meth:`fail`), and then fires its
+    callbacks when the environment processes it.  Processes waiting on the
+    event are resumed with the value, or have the exception thrown into
+    them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if it failed or is still pending."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.triggered or self._scheduled:
+            raise SimulationError("event has already been triggered")
+        self._scheduled = True
+        self.env._schedule(self, delay, value, None)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed with ``exception`` after ``delay``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered or self._scheduled:
+            raise SimulationError("event has already been triggered")
+        self._scheduled = True
+        self.env._schedule(self, delay, _PENDING, exception)
+        return self
+
+    def _apply(self, value: Any, exception: Optional[BaseException]) -> None:
+        """Record the outcome and run callbacks (engine internal)."""
+        self._value = value
+        self._exception = exception
+        callbacks, self.callbacks = self.callbacks, []
+        if exception is not None and not callbacks:
+            # Nobody is waiting on this event: surface the failure loudly
+            # instead of silently swallowing it (a failed fire-and-forget
+            # process would otherwise hang the simulation).
+            raise exception
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self._scheduled = True
+        env._schedule(self, delay, value, None)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The generator yields :class:`Event` objects; the process resumes when
+    each yielded event triggers.  The process is itself an event that
+    triggers with the generator's return value (or its uncaught exception),
+    so processes can wait on each other.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self._generator = generator
+        self.name = getattr(generator, "__name__", "process")
+        # Kick off execution at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        poke = Event(self.env)
+        poke.callbacks.append(
+            lambda _ev: self._step(throw=Interrupt(cause))
+        )
+        poke.succeed()
+
+    # ------------------------------------------------------------------
+    # engine internals
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the outcome of ``event``."""
+        if event._exception is not None:
+            self._step(throw=event._exception)
+        else:
+            self._step(send=event._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None):
+        if self.triggered or self._scheduled:
+            # A stale wakeup (e.g. the event an interrupted process was
+            # waiting on finally firing) must not resume a finished
+            # process.
+            return
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self._scheduled = True
+            self.env._schedule(self, 0.0, stop.value, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._scheduled = True
+            self.env._schedule(self, 0.0, _PENDING, exc)
+            return
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"
+            )
+        if target.triggered:
+            # Resume immediately (same timestamp) via a fresh event to keep
+            # scheduling fair with respect to other ready processes.
+            poke = Event(self.env)
+            poke.callbacks.append(lambda _ev: self._resume(target))
+            poke.succeed()
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class AllOf(Event):
+    """Triggers once every child event has triggered successfully.
+
+    The value is the list of child values in the order given.  Fails as
+    soon as any child fails.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            if event.triggered:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered or self._scheduled:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child._value for child in self._events])
+
+
+class AnyOf(Event):
+    """Triggers as soon as any child event triggers.
+
+    The value is a ``(event, value)`` tuple for the first child to fire.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self._events:
+            if event.triggered:
+                self._on_child(event)
+                break
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered or self._scheduled:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed((event, event._value))
+
+
+class Environment:
+    """The simulation world: a virtual clock plus an event heap.
+
+    Pass ``trace`` (a callable ``(time, event) -> None``) to observe
+    every processed event — useful for debugging model behaviour (see
+    :class:`~repro.sim.trace.EventLog`).
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        trace: Optional[Callable[[float, "Event"], None]] = None,
+    ) -> None:
+        self._now = float(initial_time)
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self.trace = trace
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this repo)."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Join: an event that triggers when all ``events`` have."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Select: an event that triggers when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # scheduling and execution
+    # ------------------------------------------------------------------
+    def _schedule(
+        self,
+        event: Event,
+        delay: float,
+        value: Any,
+        exception: Optional[BaseException],
+    ) -> None:
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, next(self._counter), event, value, exception),
+        )
+
+    def step(self) -> None:
+        """Process the single next scheduled event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        time, _seq, event, value, exception = heapq.heappop(self._heap)
+        self._now = time
+        if self.trace is not None:
+            self.trace(time, event)
+        event._apply(value, exception)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        triggers, returning its value).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                self.step()
+            return sentinel.value
+
+        deadline = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self._now = max(self._now, deadline)
+        return None

@@ -1,0 +1,190 @@
+"""Shared-resource primitives for the simulation engine.
+
+Three primitives cover every contention point in the models:
+
+* :class:`Resource` — a counted semaphore with FIFO queuing.  Used for CPU
+  cores, SSD submission slots, DMA channels, and link arbitration.
+* :class:`Store` — an unbounded (or bounded) FIFO of items with blocking
+  ``get``.  Used for packet queues, request queues, and mailboxes between
+  simulated threads.
+* :class:`Container` — a continuous quantity (e.g., buffer-pool bytes).
+
+All operations return :class:`~repro.sim.engine.Event` objects, so
+processes compose them with ``yield``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store", "Container"]
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    ``request()`` returns an event that triggers when a unit is granted;
+    ``release()`` returns the unit.  The classic pattern::
+
+        grant = resource.request()
+        yield grant
+        try:
+            ... hold the resource ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of granted, not-yet-released units."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that triggers when a unit is granted."""
+        event = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiting:
+            waiter = self._waiting.popleft()
+            waiter.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO of items with blocking ``get`` and optionally bounded ``put``."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; blocks (as an event) when at capacity."""
+        event = self.env.event()
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking insert; returns False when the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Return an event that triggers with the oldest item."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking pop; returns None when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_putter()
+        return item
+
+    def _admit_putter(self) -> None:
+        if self._putters:
+            putter, item = self._putters.popleft()
+            self._items.append(item)
+            putter.succeed()
+
+
+class Container:
+    """A continuous quantity (bytes, tokens) with blocking ``get``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if init < 0 or init > capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple] = deque()  # (event, amount)
+
+    @property
+    def level(self) -> float:
+        """Current stored quantity."""
+        return self._level
+
+    def put(self, amount: float) -> None:
+        """Add ``amount`` immediately (capped at capacity)."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._level = min(self.capacity, self._level + amount)
+        self._drain_getters()
+
+    def get(self, amount: float) -> Event:
+        """Event that triggers once ``amount`` can be withdrawn."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = self.env.event()
+        self._getters.append((event, amount))
+        self._drain_getters()
+        return event
+
+    def _drain_getters(self) -> None:
+        while self._getters and self._getters[0][1] <= self._level:
+            event, amount = self._getters.popleft()
+            self._level -= amount
+            event.succeed()

@@ -1,0 +1,77 @@
+"""Deterministic random-number helpers for reproducible experiments.
+
+Every stochastic component in the repository draws from a
+:class:`SeededRng` handed down from the experiment harness, so a run is a
+pure function of its seed.  The class wraps :class:`random.Random` and adds
+the distributions the workload generators need (Zipfian keys for YCSB,
+bounded exponentials for service-time jitter).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+__all__ = ["SeededRng", "ZipfGenerator"]
+
+
+class SeededRng(random.Random):
+    """A :class:`random.Random` with convenience draws used by the models."""
+
+    def exponential(self, mean: float) -> float:
+        """Exponential variate with the given mean (mean 0 returns 0)."""
+        if mean <= 0:
+            return 0.0
+        return self.expovariate(1.0 / mean)
+
+    def bounded_exponential(self, mean: float, cap_factor: float = 10.0):
+        """Exponential variate truncated at ``cap_factor * mean``.
+
+        Service-time jitter in hardware models uses this to avoid the
+        unbounded tails a pure exponential would inject into p99 numbers.
+        """
+        return min(self.exponential(mean), mean * cap_factor)
+
+    def spawn(self, label: str) -> "SeededRng":
+        """Derive an independent child stream, stable for a given label."""
+        return SeededRng(f"{self.getrandbits(48)}:{label}")
+
+
+class ZipfGenerator:
+    """Zipfian integer generator over ``[0, n)`` via inverse CDF.
+
+    Used by the YCSB workload generator (the paper's §9.2 runs YCSB with a
+    uniform read workload; Zipfian is provided for the skewed variants).
+    Precomputes the harmonic CDF once, so draws are O(log n).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng: SeededRng = None):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        self._rng = rng if rng is not None else SeededRng(0)
+        weights = [1.0 / math.pow(i + 1, theta) for i in range(n)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._cdf: Sequence[float] = cdf
+
+    def draw(self) -> int:
+        """Draw one key; key 0 is the hottest."""
+        u = self._rng.random()
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,30 @@
+"""Storage substrate: segment layout, DDS filesystem, OS baseline, SPDK."""
+
+from .disk import RamDisk, SpdkBdev
+from .filesystem import (
+    DEFAULT_SEGMENT_SIZE,
+    DdsFileSystem,
+    FileMeta,
+    FileSystemError,
+)
+from .layout import (
+    FileExtentMap,
+    PhysicalRun,
+    SegmentAllocator,
+    StorageFullError,
+)
+from .osfs import OsFileSystem
+
+__all__ = [
+    "DEFAULT_SEGMENT_SIZE",
+    "DdsFileSystem",
+    "FileExtentMap",
+    "FileMeta",
+    "FileSystemError",
+    "OsFileSystem",
+    "PhysicalRun",
+    "RamDisk",
+    "SegmentAllocator",
+    "SpdkBdev",
+    "StorageFullError",
+]

@@ -1,0 +1,86 @@
+"""Disk data planes.
+
+:class:`RamDisk` holds the actual bytes (so filesystem correctness,
+metadata persistence, and recovery are all testable for real), while
+:class:`~repro.hardware.ssd.NvmeDevice` models the timing.
+:class:`SpdkBdev` composes the two into the userspace asynchronous block
+device the DPU file service drives (§4.3, §7: SPDK's ``spdk_bdev_read``/
+``write`` against the NVMe driver).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..hardware.ssd import NvmeDevice
+from ..sim import Environment, SeededRng
+
+__all__ = ["RamDisk", "SpdkBdev"]
+
+
+class RamDisk:
+    """The byte content of a simulated SSD."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("disk size must be positive")
+        self.size = size
+        self._data = bytearray(size)
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset``."""
+        self._check(offset, size)
+        return bytes(self._data[offset : offset + size])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``."""
+        self._check(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+
+    def _check(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise ValueError(
+                f"access [{offset}, {offset + size}) outside disk "
+                f"of {self.size} bytes"
+            )
+
+
+class SpdkBdev:
+    """Userspace async block device: timing (NVMe model) plus data (RamDisk).
+
+    All operations are process generators completing when the simulated
+    device does; reads return the bytes.  This is the only layer that
+    touches both the timing model and the data plane, so everything above
+    it (file service, offload engine) is automatically consistent.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        disk: RamDisk,
+        device: Optional[NvmeDevice] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.env = env
+        self.disk = disk
+        self.device = device if device is not None else NvmeDevice(
+            env, rng=rng
+        )
+
+    def read(self, offset: int, size: int) -> Generator:
+        """Async read; yields until the device completes, returns bytes."""
+        yield from self.device.read(size)
+        return self.disk.read(offset, size)
+
+    def write(self, offset: int, data: bytes) -> Generator:
+        """Async write; yields until the device completes."""
+        yield from self.device.write(len(data))
+        self.disk.write(offset, data)
+
+    def submit_read(self, offset: int, size: int):
+        """Fire-and-forget read returning the completion event."""
+        return self.env.process(self.read(offset, size))
+
+    def submit_write(self, offset: int, data: bytes):
+        """Fire-and-forget write returning the completion event."""
+        return self.env.process(self.write(offset, data))

@@ -1,0 +1,298 @@
+"""The DDS file system: flat directories over fixed-length segments (§4.3).
+
+Files are vectors of fixed-length segments; directories are flat (no
+nesting); segment 0 persistently stores all metadata — the directory
+table, the file table, and every file's segment mapping — so the
+filesystem can be recovered from the raw disk after a restart.
+
+All data-path operations are simulation-process generators (they consume
+device time through the SPDK bdev) *and* move real bytes (through the
+RamDisk), so correctness and performance are tested against the same
+implementation.  The filesystem itself charges no CPU: the caller (DPU
+file service, or the OS-filesystem baseline wrapper) owns CPU accounting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Generator, List, Optional
+
+from ..hardware.ssd import DeviceError
+from ..sim import Environment
+from .disk import SpdkBdev
+from .layout import FileExtentMap, SegmentAllocator, StorageFullError
+
+__all__ = [
+    "FileSystemError",
+    "FileMeta",
+    "DdsFileSystem",
+    "DEFAULT_SEGMENT_SIZE",
+]
+
+DEFAULT_SEGMENT_SIZE = 1 << 20  # 1 MiB, block-aligned
+_METADATA_MAGIC = "dds-fs-v1"
+
+
+class FileSystemError(Exception):
+    """Invalid filesystem operation (unknown file, bad range, ...)."""
+
+
+class FileMeta:
+    """Metadata of one file: identity, size, and its extent map."""
+
+    __slots__ = ("file_id", "name", "directory", "size", "extents")
+
+    def __init__(
+        self,
+        file_id: int,
+        name: str,
+        directory: str,
+        segment_size: int,
+        segments: Optional[List[int]] = None,
+        size: int = 0,
+    ) -> None:
+        self.file_id = file_id
+        self.name = name
+        self.directory = directory
+        self.size = size
+        self.extents = FileExtentMap(segment_size, segments)
+
+    def to_record(self) -> dict:
+        """JSON-serializable metadata record."""
+        return {
+            "id": self.file_id,
+            "name": self.name,
+            "dir": self.directory,
+            "size": self.size,
+            "segments": list(self.extents),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict, segment_size: int) -> "FileMeta":
+        return cls(
+            file_id=record["id"],
+            name=record["name"],
+            directory=record["dir"],
+            segment_size=segment_size,
+            segments=record["segments"],
+            size=record["size"],
+        )
+
+
+class DdsFileSystem:
+    """Flat-directory filesystem over segments, backed by an SPDK bdev."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bdev: SpdkBdev,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> None:
+        total_segments = bdev.disk.size // segment_size
+        self.env = env
+        self.bdev = bdev
+        self.segment_size = segment_size
+        self.allocator = SegmentAllocator(total_segments, segment_size)
+        self._directories: Dict[str, List[int]] = {}
+        self._files: Dict[int, FileMeta] = {}
+        self._next_file_id = 1
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+    def create_directory(self, name: str) -> None:
+        """Make a new flat directory."""
+        if not name:
+            raise FileSystemError("directory name must be non-empty")
+        if name in self._directories:
+            raise FileSystemError(f"directory {name!r} already exists")
+        self._directories[name] = []
+
+    def list_directory(self, name: str) -> List[int]:
+        """File ids in a directory."""
+        if name not in self._directories:
+            raise FileSystemError(f"no such directory: {name!r}")
+        return list(self._directories[name])
+
+    def create_file(self, directory: str, name: str) -> int:
+        """Create an empty file; returns its file id."""
+        if directory not in self._directories:
+            raise FileSystemError(f"no such directory: {directory!r}")
+        for file_id in self._directories[directory]:
+            if self._files[file_id].name == name:
+                raise FileSystemError(
+                    f"file {name!r} already exists in {directory!r}"
+                )
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        meta = FileMeta(file_id, name, directory, self.segment_size)
+        self._files[file_id] = meta
+        self._directories[directory].append(file_id)
+        return file_id
+
+    def delete_file(self, file_id: int) -> None:
+        """Remove a file and free its segments."""
+        meta = self._meta(file_id)
+        for segment in meta.extents:
+            self.allocator.free(segment)
+        self._directories[meta.directory].remove(file_id)
+        del self._files[file_id]
+
+    def file_size(self, file_id: int) -> int:
+        """Current logical size of the file in bytes."""
+        return self._meta(file_id).size
+
+    def file_mapping(self, file_id: int) -> FileExtentMap:
+        """The file's segment vector (what the DPU keeps resident)."""
+        return self._meta(file_id).extents
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    def _meta(self, file_id: int) -> FileMeta:
+        meta = self._files.get(file_id)
+        if meta is None:
+            raise FileSystemError(f"no such file id: {file_id}")
+        return meta
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def write(self, file_id: int, offset: int, data: bytes) -> Generator:
+        """Write ``data`` at ``offset``, extending the file as needed.
+
+        Physical runs are submitted to the device concurrently and the
+        write completes when all of them do.
+        """
+        meta = self._meta(file_id)
+        if offset < 0:
+            raise FileSystemError("negative offset")
+        end = offset + len(data)
+        while meta.extents.capacity < end:
+            try:
+                meta.extents.append_segment(self.allocator.allocate())
+            except StorageFullError as exc:
+                raise FileSystemError("device is full") from exc
+        completions = []
+        cursor = 0
+        for run in meta.extents.translate(offset, len(data)):
+            chunk = data[cursor : cursor + run.length]
+            completions.append(self.bdev.submit_write(run.disk_offset, chunk))
+            cursor += run.length
+        if completions:
+            try:
+                yield self.env.all_of(completions)
+            except DeviceError as exc:
+                raise FileSystemError(f"device write failed: {exc}") from exc
+        meta.size = max(meta.size, end)
+
+    def preallocate(self, file_id: int, size: int) -> None:
+        """Extend a file to ``size`` bytes without writing (fallocate).
+
+        Benchmark databases are materialized this way: segments are
+        allocated and the logical size set, with content left zeroed.
+        """
+        meta = self._meta(file_id)
+        while meta.extents.capacity < size:
+            try:
+                meta.extents.append_segment(self.allocator.allocate())
+            except StorageFullError as exc:
+                raise FileSystemError("device is full") from exc
+        meta.size = max(meta.size, size)
+
+    def write_sync(self, file_id: int, offset: int, data: bytes) -> None:
+        """Setup-time write: move the bytes with zero simulated time.
+
+        Experiment loaders use this to materialize databases and KV logs
+        without charging device time to the measurement window.
+        """
+        meta = self._meta(file_id)
+        end = offset + len(data)
+        self.preallocate(file_id, end)
+        cursor = 0
+        for run in meta.extents.translate(offset, len(data)):
+            self.bdev.disk.write(
+                run.disk_offset, data[cursor : cursor + run.length]
+            )
+            cursor += run.length
+        meta.size = max(meta.size, end)
+
+    def read(self, file_id: int, offset: int, size: int) -> Generator:
+        """Read ``size`` bytes at ``offset``; returns the data."""
+        meta = self._meta(file_id)
+        if offset < 0 or size < 0:
+            raise FileSystemError("negative offset or size")
+        if offset + size > meta.size:
+            raise FileSystemError(
+                f"read [{offset}, {offset + size}) beyond EOF at {meta.size}"
+            )
+        completions = [
+            self.bdev.submit_read(run.disk_offset, run.length)
+            for run in meta.extents.translate(offset, size)
+        ]
+        if not completions:
+            return b""
+        try:
+            results = yield self.env.all_of(completions)
+        except DeviceError as exc:
+            raise FileSystemError(f"device read failed: {exc}") from exc
+        return b"".join(results)
+
+    # ------------------------------------------------------------------
+    # metadata persistence (segment 0)
+    # ------------------------------------------------------------------
+    def serialize_metadata(self) -> bytes:
+        """Encode all metadata as the segment-0 image."""
+        payload = json.dumps(
+            {
+                "magic": _METADATA_MAGIC,
+                "segment_size": self.segment_size,
+                "next_file_id": self._next_file_id,
+                "directories": {
+                    name: files for name, files in self._directories.items()
+                },
+                "files": [meta.to_record() for meta in self._files.values()],
+            }
+        ).encode()
+        image = len(payload).to_bytes(8, "little") + payload
+        if len(image) > self.segment_size:
+            raise FileSystemError(
+                "metadata no longer fits in the reserved segment"
+            )
+        return image
+
+    def flush_metadata(self) -> Generator:
+        """Persist metadata to the reserved segment."""
+        yield from self.bdev.write(
+            SegmentAllocator.METADATA_SEGMENT * self.segment_size,
+            self.serialize_metadata(),
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        env: Environment,
+        bdev: SpdkBdev,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> "DdsFileSystem":
+        """Rebuild a filesystem from the metadata segment on disk."""
+        header = bdev.disk.read(0, 8)
+        length = int.from_bytes(header, "little")
+        if length == 0 or length > segment_size:
+            raise FileSystemError("no valid metadata segment on this disk")
+        payload = json.loads(bdev.disk.read(8, length).decode())
+        if payload.get("magic") != _METADATA_MAGIC:
+            raise FileSystemError("metadata magic mismatch")
+        fs = cls(env, bdev, segment_size=payload["segment_size"])
+        fs._next_file_id = payload["next_file_id"]
+        fs._directories = {
+            name: list(files)
+            for name, files in payload["directories"].items()
+        }
+        for record in payload["files"]:
+            meta = FileMeta.from_record(record, fs.segment_size)
+            fs._files[meta.file_id] = meta
+            for segment in meta.extents:
+                fs.allocator.mark_allocated(segment)
+        return fs

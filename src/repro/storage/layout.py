@@ -1,0 +1,147 @@
+"""On-disk layout: fixed-length segments and the file mapping (§4.3).
+
+DDS divides SSD space into fixed-length segments (aligned to the disk
+block size) and represents each file as a vector of segments — the *file
+mapping*.  The mapping is the second level of DDS's two-level address
+translation: the cache table maps application requests to file addresses,
+and the file mapping maps file addresses to physical disk blocks.
+
+:class:`SegmentAllocator` owns the free-segment bitmap;
+:class:`FileExtentMap` holds one file's segment vector and translates
+byte ranges into physical runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["SegmentAllocator", "FileExtentMap", "PhysicalRun", "StorageFullError"]
+
+
+class StorageFullError(Exception):
+    """No free segments remain on the device."""
+
+
+@dataclass(frozen=True)
+class PhysicalRun:
+    """A contiguous physical byte range: (disk offset, length)."""
+
+    disk_offset: int
+    length: int
+
+
+class SegmentAllocator:
+    """Bitmap allocator over ``total_segments`` fixed-size segments.
+
+    Segment 0 is reserved for filesystem metadata (§4.3: "one of the
+    segments is reserved to persistently store the metadata"), so user
+    allocation starts at segment 1.
+    """
+
+    METADATA_SEGMENT = 0
+
+    def __init__(self, total_segments: int, segment_size: int) -> None:
+        if total_segments < 2:
+            raise ValueError("need at least a metadata segment plus one")
+        if segment_size < 512 or segment_size % 512:
+            raise ValueError("segment_size must be a multiple of 512")
+        self.total_segments = total_segments
+        self.segment_size = segment_size
+        self._allocated = bytearray(total_segments)
+        self._allocated[self.METADATA_SEGMENT] = 1
+        self._free_count = total_segments - 1
+        self._cursor = 1  # next-fit scan position
+
+    @property
+    def free_segments(self) -> int:
+        return self._free_count
+
+    def allocate(self) -> int:
+        """Allocate one segment; raises :class:`StorageFullError` if none."""
+        if self._free_count == 0:
+            raise StorageFullError(
+                f"all {self.total_segments} segments are in use"
+            )
+        n = self.total_segments
+        for probe in range(n):
+            candidate = (self._cursor + probe) % n
+            if candidate == self.METADATA_SEGMENT:
+                continue
+            if not self._allocated[candidate]:
+                self._allocated[candidate] = 1
+                self._free_count -= 1
+                self._cursor = (candidate + 1) % n
+                return candidate
+        raise StorageFullError("bitmap scan found no free segment")
+
+    def free(self, segment: int) -> None:
+        """Return one segment to the free pool."""
+        if not 0 <= segment < self.total_segments:
+            raise ValueError(f"segment {segment} out of range")
+        if segment == self.METADATA_SEGMENT:
+            raise ValueError("cannot free the metadata segment")
+        if not self._allocated[segment]:
+            raise ValueError(f"segment {segment} is not allocated")
+        self._allocated[segment] = 0
+        self._free_count += 1
+
+    def mark_allocated(self, segment: int) -> None:
+        """Recovery path: re-mark a segment found in persisted metadata."""
+        if not self._allocated[segment]:
+            self._allocated[segment] = 1
+            self._free_count -= 1
+
+
+class FileExtentMap:
+    """One file's segment vector and byte-range translation."""
+
+    def __init__(self, segment_size: int, segments: List[int] = None):
+        self.segment_size = segment_size
+        self.segments: List[int] = list(segments) if segments else []
+
+    @property
+    def capacity(self) -> int:
+        """Bytes addressable through the current mapping."""
+        return len(self.segments) * self.segment_size
+
+    def append_segment(self, segment: int) -> None:
+        """Grow the file by one segment."""
+        self.segments.append(segment)
+
+    def translate(self, offset: int, size: int) -> List[PhysicalRun]:
+        """Map a logical byte range to physical runs.
+
+        This is the translation the DPU file service performs for every
+        I/O before submitting it to the userspace storage driver.
+        """
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be non-negative")
+        if offset + size > self.capacity:
+            raise ValueError(
+                f"range [{offset}, {offset + size}) exceeds mapped "
+                f"capacity {self.capacity}"
+            )
+        runs: List[PhysicalRun] = []
+        remaining = size
+        position = offset
+        while remaining > 0:
+            index = position // self.segment_size
+            within = position % self.segment_size
+            chunk = min(remaining, self.segment_size - within)
+            disk_offset = self.segments[index] * self.segment_size + within
+            if runs and runs[-1].disk_offset + runs[-1].length == disk_offset:
+                runs[-1] = PhysicalRun(
+                    runs[-1].disk_offset, runs[-1].length + chunk
+                )
+            else:
+                runs.append(PhysicalRun(disk_offset, chunk))
+            position += chunk
+            remaining -= chunk
+        return runs
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)

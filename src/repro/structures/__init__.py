@@ -1,0 +1,27 @@
+"""Concurrent data structures from the DDS paper, implemented for real.
+
+Ring buffers (§4.1), the three-tail response buffer (§4.3), the cuckoo
+cache table (§6.1), and the pre-allocated DMA buffer pool (§6.2).
+"""
+
+from .atomics import AtomicCounter
+from .cuckoo import CacheTableStats, CuckooCacheTable
+from .memory import BufferPool, DmaBuffer, PoolStats
+from .response import PreallocatedResponse, ResponseBuffer, ResponseStatus
+from .rings import RECORD_HEADER, FarmRing, LockRing, ProgressRing
+
+__all__ = [
+    "AtomicCounter",
+    "BufferPool",
+    "CacheTableStats",
+    "CuckooCacheTable",
+    "DmaBuffer",
+    "FarmRing",
+    "LockRing",
+    "PoolStats",
+    "PreallocatedResponse",
+    "ProgressRing",
+    "RECORD_HEADER",
+    "ResponseBuffer",
+    "ResponseStatus",
+]

@@ -1,0 +1,54 @@
+"""Emulated atomic primitives.
+
+The DDS ring buffers coordinate producers and the consumer with
+compare-and-swap and atomic loads (§4.1, Figure 8).  CPython exposes no
+hardware CAS, so :class:`AtomicCounter` emulates one with a private mutex
+confined to the single read-modify-write step.  The algorithms built on
+top remain lock-free in the paper's sense: no lock is ever held across a
+message insertion or consumption, so a stalled thread cannot block others
+for longer than one pointer update.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AtomicCounter"]
+
+
+class AtomicCounter:
+    """A 64-bit-style atomic integer with load / CAS / fetch-add."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def load(self) -> int:
+        """Atomic read of the current value."""
+        with self._lock:
+            return self._value
+
+    def store(self, value: int) -> None:
+        """Atomic write (single-writer pointers, e.g. the ring head)."""
+        with self._lock:
+            self._value = value
+
+    def compare_and_swap(self, expected: int, new: int) -> bool:
+        """Set to ``new`` iff currently ``expected``; True on success."""
+        with self._lock:
+            if self._value != expected:
+                return False
+            self._value = new
+            return True
+
+    def fetch_add(self, delta: int) -> int:
+        """Atomically add ``delta``; returns the *previous* value."""
+        with self._lock:
+            old = self._value
+            self._value = old + delta
+            return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCounter({self.load()})"

@@ -1,0 +1,201 @@
+"""The DDS cache table: a cuckoo hash table with bucket chaining (§6.1).
+
+Design requirements from Table 2: lookups must not compromise DPU packet
+processing (tens of millions of ops/s => worst-case constant lookups,
+which cuckoo hashing provides by probing exactly two buckets), while
+inserts arrive at file-write rate (millions of ops/s => collisions on
+insert are absorbed by *chaining* extra items in a bucket rather than
+failing or resizing).  Capacity is fixed up front — the user declares the
+maximum number of cache items so the DPU memory can be reserved and the
+table never resizes at runtime.
+
+Concurrency model (Table 2): a single writer (the file service executing
+``Cache``/``Invalidate``) and multiple readers (traffic director and
+offload engine executing ``OffPred``/``OffFunc``).  Writes take the
+writer lock; reads are lock-free.  Cuckoo displacement inserts the moved
+item into its alternate bucket *before* removing the original, so a
+concurrent reader never observes the key missing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator, List, Optional, Tuple
+
+__all__ = ["CacheTableStats", "CuckooCacheTable"]
+
+_SALT1 = 0x9E3779B97F4A7C15
+_SALT2 = 0xC2B2AE3D27D4EB4F
+
+
+@dataclass
+class CacheTableStats:
+    """Operation counters for one cache table."""
+
+    inserts: int = 0
+    lookups: int = 0
+    hits: int = 0
+    deletes: int = 0
+    displacements: int = 0
+    chained_inserts: int = 0
+    rejected_full: int = 0
+    probe_entries: int = field(default=0, repr=False)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CuckooCacheTable:
+    """Fixed-capacity 2-choice cuckoo hash table with bucket chaining."""
+
+    def __init__(
+        self,
+        max_items: int,
+        slots_per_bucket: int = 4,
+        max_kicks: int = 32,
+    ) -> None:
+        if max_items < 1:
+            raise ValueError("max_items must be >= 1")
+        if slots_per_bucket < 1:
+            raise ValueError("slots_per_bucket must be >= 1")
+        self.max_items = max_items
+        self.slots_per_bucket = slots_per_bucket
+        self.max_kicks = max_kicks
+        # Size the bucket array for ~70% nominal load at capacity, with a
+        # floor so tiny tables still have two distinct buckets to probe.
+        nominal = max(2, int(max_items / (0.7 * slots_per_bucket)) + 1)
+        self._nbuckets = nominal
+        self._buckets: List[List[Tuple[Hashable, Any]]] = [
+            [] for _ in range(nominal)
+        ]
+        self._count = 0
+        self._writer_lock = threading.Lock()
+        self.stats = CacheTableStats()
+
+    # ------------------------------------------------------------------
+    # hashing
+    # ------------------------------------------------------------------
+    def _index1(self, key: Hashable) -> int:
+        return (hash(key) ^ _SALT1) % self._nbuckets
+
+    def _index2(self, key: Hashable) -> int:
+        return ((hash(key) * 0x100000001B3) ^ _SALT2) % self._nbuckets
+
+    def _alternate(self, key: Hashable, index: int) -> int:
+        one, two = self._index1(key), self._index2(key)
+        return two if index == one else one
+
+    # ------------------------------------------------------------------
+    # reads (lock-free)
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable, default: Any = None) -> Any:
+        """Worst-case constant-time lookup: probes exactly two buckets."""
+        self.stats.lookups += 1
+        for index in (self._index1(key), self._index2(key)):
+            bucket = self._buckets[index]
+            for entry_key, entry_value in bucket:
+                self.stats.probe_entries += 1
+                if entry_key == key:
+                    self.stats.hits += 1
+                    return entry_value
+        return default
+
+    def __contains__(self, key: Hashable) -> bool:
+        sentinel = object()
+        return self.lookup(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        """Items stored relative to declared capacity."""
+        return self._count / self.max_items
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """Iterate all entries (test/debug use; not concurrency-safe)."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    # ------------------------------------------------------------------
+    # writes (single writer)
+    # ------------------------------------------------------------------
+    def insert(self, key: Hashable, value: Any) -> bool:
+        """Insert or update; False when the table is at declared capacity."""
+        with self._writer_lock:
+            self.stats.inserts += 1
+            if self._update_in_place(key, value):
+                return True
+            if self._count >= self.max_items:
+                self.stats.rejected_full += 1
+                return False
+            self._place(key, value)
+            self._count += 1
+            return True
+
+    def delete(self, key: Hashable) -> bool:
+        """Remove ``key``; True if it was present."""
+        with self._writer_lock:
+            self.stats.deletes += 1
+            for index in (self._index1(key), self._index2(key)):
+                bucket = self._buckets[index]
+                for position, (entry_key, _val) in enumerate(bucket):
+                    if entry_key == key:
+                        del bucket[position]
+                        self._count -= 1
+                        return True
+            return False
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _update_in_place(self, key: Hashable, value: Any) -> bool:
+        for index in (self._index1(key), self._index2(key)):
+            bucket = self._buckets[index]
+            for position, (entry_key, _val) in enumerate(bucket):
+                if entry_key == key:
+                    bucket[position] = (key, value)
+                    return True
+        return False
+
+    def _place(self, key: Hashable, value: Any) -> None:
+        """Standard cuckoo placement, falling back to chaining.
+
+        Chaining (appending past the nominal slot count) bounds insert
+        latency when a displacement cycle is hit, at the cost of slightly
+        longer probes in that bucket — the trade §6.1 describes.
+        """
+        index1, index2 = self._index1(key), self._index2(key)
+        for index in (index1, index2):
+            if len(self._buckets[index]) < self.slots_per_bucket:
+                self._buckets[index].append((key, value))
+                return
+
+        # Both buckets nominally full: displace residents along a cuckoo
+        # path for up to max_kicks moves.
+        index = index1
+        carried_key, carried_value = key, value
+        for _kick in range(self.max_kicks):
+            bucket = self._buckets[index]
+            victim_key, victim_value = bucket[0]
+            alternate = self._alternate(victim_key, index)
+            if len(self._buckets[alternate]) < self.slots_per_bucket:
+                # Move the victim (insert-then-remove so readers always
+                # find it), then take its slot for the carried item.
+                self._buckets[alternate].append((victim_key, victim_value))
+                bucket[0] = (carried_key, carried_value)
+                self.stats.displacements += 1
+                return
+            # Swap the carried item in and continue with the victim.
+            bucket[0] = (carried_key, carried_value)
+            carried_key, carried_value = victim_key, victim_value
+            index = alternate
+            self.stats.displacements += 1
+
+        # Displacement failed: chain the carried item in its first bucket.
+        self._buckets[self._index1(carried_key)].append(
+            (carried_key, carried_value)
+        )
+        self.stats.chained_inserts += 1

@@ -1,0 +1,123 @@
+"""Pre-allocated DMA-accessible buffer pool (§6.2, Figure 12).
+
+The offload engine never allocates on the data path: it reserves a pool
+of huge pages up front and carves read buffers from it.  Each buffer is
+sized to hold both the read data and the (indirect) packet placeholders,
+which is what lets the engine pass the same memory to the storage driver
+as the I/O destination and to the traffic director as the packet payload
+— zero copies end to end.
+
+The pool is a size-class slab allocator: power-of-two classes with
+per-class freelists, carving fresh slabs from the remaining region only
+when a freelist is empty.  ``allocate`` returning None signals pool
+exhaustion, which the engine treats as backpressure (the request falls
+back to the host, like a full context ring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["PoolStats", "DmaBuffer", "BufferPool"]
+
+
+@dataclass
+class PoolStats:
+    """Allocation counters for a buffer pool."""
+
+    allocations: int = 0
+    frees: int = 0
+    failures: int = 0
+    bytes_in_use: int = 0
+    peak_bytes: int = 0
+
+
+class DmaBuffer:
+    """A leased buffer: ``size`` requested bytes inside a ``class_size`` slab."""
+
+    __slots__ = ("pool", "class_size", "size", "data", "_free")
+
+    def __init__(self, pool: "BufferPool", class_size: int, size: int):
+        self.pool = pool
+        self.class_size = class_size
+        self.size = size
+        self.data = bytearray(class_size)
+        self._free = False
+
+    def release(self) -> None:
+        """Return the buffer to its pool (idempotence is an error)."""
+        if self._free:
+            raise RuntimeError("buffer released twice")
+        self._free = True
+        self.pool._reclaim(self)
+
+
+class BufferPool:
+    """Fixed-budget size-class allocator over a pre-registered region."""
+
+    def __init__(
+        self,
+        total_bytes: int,
+        min_class: int = 512,
+        max_class: int = 1 << 20,
+    ) -> None:
+        if total_bytes < min_class:
+            raise ValueError("pool smaller than the minimum size class")
+        if min_class & (min_class - 1) or max_class & (max_class - 1):
+            raise ValueError("size classes must be powers of two")
+        if min_class > max_class:
+            raise ValueError("min_class must not exceed max_class")
+        self.total_bytes = total_bytes
+        self.min_class = min_class
+        self.max_class = max_class
+        self._remaining = total_bytes
+        self._freelists: Dict[int, List[DmaBuffer]] = {}
+        self.stats = PoolStats()
+
+    def class_for(self, size: int) -> int:
+        """Smallest size class that fits ``size`` bytes."""
+        if size < 1:
+            raise ValueError("size must be positive")
+        if size > self.max_class:
+            raise ValueError(
+                f"request of {size} bytes exceeds max class {self.max_class}"
+            )
+        cls = self.min_class
+        while cls < size:
+            cls <<= 1
+        return cls
+
+    def allocate(self, size: int) -> Optional[DmaBuffer]:
+        """Lease a buffer of at least ``size`` bytes; None when exhausted."""
+        cls = self.class_for(size)
+        freelist = self._freelists.setdefault(cls, [])
+        if freelist:
+            buffer = freelist.pop()
+            buffer.size = size
+            buffer._free = False
+        elif self._remaining >= cls:
+            self._remaining -= cls
+            buffer = DmaBuffer(self, cls, size)
+        else:
+            self.stats.failures += 1
+            return None
+        self.stats.allocations += 1
+        self.stats.bytes_in_use += cls
+        self.stats.peak_bytes = max(
+            self.stats.peak_bytes, self.stats.bytes_in_use
+        )
+        return buffer
+
+    def _reclaim(self, buffer: DmaBuffer) -> None:
+        self._freelists.setdefault(buffer.class_size, []).append(buffer)
+        self.stats.frees += 1
+        self.stats.bytes_in_use -= buffer.class_size
+
+    @property
+    def bytes_available(self) -> int:
+        """Uncarved bytes plus bytes parked on freelists."""
+        parked = sum(
+            cls * len(buffers) for cls, buffers in self._freelists.items()
+        )
+        return self._remaining + parked

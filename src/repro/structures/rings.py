@@ -1,0 +1,249 @@
+"""Host-DPU message rings (§4.1, Figures 7 and 8).
+
+Three designs, matching the paper's Figure 17 comparison:
+
+* :class:`ProgressRing` — DDS's contribution: a lock-free
+  multi-producer/single-consumer byte ring with a third *progress* pointer
+  that enables concurrent insertions and natural batching.  Producers
+  reserve space by CAS on the tail, copy their record, then add its size
+  to the progress counter; the consumer may read the whole
+  ``[head, tail)`` region only when ``progress == tail``, i.e. every
+  reservation has been filled.
+* :class:`FarmRing` — the FaRM-style baseline: per-slot completion flags,
+  one message consumed (and released) at a time, no batching.
+* :class:`LockRing` — a mutex around the whole insertion.
+
+All three carry variable-length records encoded as a 4-byte little-endian
+length prefix followed by the payload, mirroring the request encoding of
+Figure 9 where the header carries the request size.
+
+These are *real* thread-safe implementations, exercised by multi-threaded
+stress tests; the DMA timing model that turns operation counts into
+Figure 17's throughput/latency numbers lives in
+:mod:`repro.core.dma_ring`.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import List, Optional
+
+from .atomics import AtomicCounter
+
+__all__ = ["ProgressRing", "FarmRing", "LockRing", "RECORD_HEADER"]
+
+#: Per-record framing: little-endian uint32 payload length.
+RECORD_HEADER = struct.Struct("<I")
+
+
+class _ByteRing:
+    """Shared byte-buffer mechanics: wrap-around reads and writes."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= RECORD_HEADER.size:
+            raise ValueError("capacity too small for a single record")
+        self.capacity = capacity
+        self._buffer = bytearray(capacity)
+
+    def _write_at(self, offset: int, data: bytes) -> None:
+        pos = offset % self.capacity
+        end = pos + len(data)
+        if end <= self.capacity:
+            self._buffer[pos:end] = data
+        else:
+            first = self.capacity - pos
+            self._buffer[pos:] = data[:first]
+            self._buffer[: end - self.capacity] = data[first:]
+
+    def _read_at(self, offset: int, size: int) -> bytes:
+        pos = offset % self.capacity
+        end = pos + size
+        if end <= self.capacity:
+            return bytes(self._buffer[pos:end])
+        first = self.capacity - pos
+        return bytes(self._buffer[pos:]) + bytes(
+            self._buffer[: end - self.capacity]
+        )
+
+    @staticmethod
+    def record_size(payload: bytes) -> int:
+        """Bytes a payload occupies on the ring, including framing."""
+        return RECORD_HEADER.size + len(payload)
+
+    def _split_records(self, start: int, end: int) -> List[bytes]:
+        """Parse the length-prefixed records in ``[start, end)``."""
+        records: List[bytes] = []
+        offset = start
+        while offset < end:
+            (length,) = RECORD_HEADER.unpack(
+                self._read_at(offset, RECORD_HEADER.size)
+            )
+            offset += RECORD_HEADER.size
+            records.append(self._read_at(offset, length))
+            offset += length
+        if offset != end:
+            raise RuntimeError("corrupt ring: records overrun the batch")
+        return records
+
+
+class ProgressRing(_ByteRing):
+    """DDS's progress-pointer lock-free MPSC ring (Figure 8).
+
+    ``max_progress`` is the paper's *maximum allowable progress* hyper-
+    parameter ``M``: the largest amount of unconsumed data producers may
+    accumulate, which bounds the batch the consumer picks up in one go.
+    """
+
+    def __init__(self, capacity: int, max_progress: Optional[int] = None):
+        super().__init__(capacity)
+        if max_progress is None:
+            max_progress = capacity
+        if not 0 < max_progress <= capacity:
+            raise ValueError("max_progress must be in (0, capacity]")
+        self.max_progress = max_progress
+        # Monotonic byte offsets; buffer indices are offsets mod capacity.
+        # Physical layout note (Figure 7): progress precedes tail so one
+        # DMA read fetches both for the consumer's equality check.
+        self._progress = AtomicCounter(0)
+        self._tail = AtomicCounter(0)
+        self._head = AtomicCounter(0)
+
+    # ------------------------------------------------------------------
+    # producer side (any thread) — Figure 8a
+    # ------------------------------------------------------------------
+    def try_enqueue(self, payload: bytes) -> bool:
+        """Insert one record; False means RETRY (batch limit reached)."""
+        size = self.record_size(payload)
+        if size > self.max_progress:
+            raise ValueError(
+                f"record of {size} bytes exceeds max_progress "
+                f"{self.max_progress}"
+            )
+        while True:
+            tail = self._tail.load()
+            head = self._head.load()
+            if tail - head + size > self.max_progress:
+                return False  # insertions are outpacing consumption
+            if self._tail.compare_and_swap(tail, tail + size):
+                break
+            # Another producer reserved first; re-check and retry the CAS.
+        self._write_at(tail, RECORD_HEADER.pack(len(payload)))
+        self._write_at(tail + RECORD_HEADER.size, payload)
+        self._progress.fetch_add(size)
+        return True
+
+    # ------------------------------------------------------------------
+    # consumer side (single thread) — Figure 8b
+    # ------------------------------------------------------------------
+    def try_consume(self) -> Optional[List[bytes]]:
+        """Drain the current batch; None means RETRY (or empty).
+
+        The load order is the critical order highlighted in Figure 8b:
+        progress first, then tail.  If they are equal, every reservation
+        up to tail has been fully written, so the whole region is safe to
+        read in one pass.
+        """
+        progress = self._progress.load()
+        tail = self._tail.load()
+        head = self._head.load()
+        if progress != tail or tail == head:
+            return None
+        records = self._split_records(head, tail)
+        self._head.store(tail)
+        return records
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_bytes(self) -> int:
+        """Reserved-but-unconsumed bytes (tail - head)."""
+        return self._tail.load() - self._head.load()
+
+    @property
+    def pointers(self) -> tuple:
+        """(head, progress, tail) snapshot, for tests and invariants."""
+        return (self._head.load(), self._progress.load(), self._tail.load())
+
+
+class FarmRing:
+    """FaRM-style ring: per-slot completion flags, one message at a time.
+
+    Producers reserve a fixed-size slot, write the payload, then set the
+    slot's flag.  The consumer polls the flag at the head slot; after
+    reading a message it *releases* the slot by clearing the flag (the
+    extra DMA write the paper charges this design for).
+    """
+
+    def __init__(self, slots: int, slot_size: int = 256) -> None:
+        if slots < 1:
+            raise ValueError("need at least one slot")
+        if slot_size <= RECORD_HEADER.size:
+            raise ValueError("slot_size too small for a record")
+        self.slots = slots
+        self.slot_size = slot_size
+        self._payloads: List[Optional[bytes]] = [None] * slots
+        self._flags = [AtomicCounter(0) for _ in range(slots)]
+        self._tail = AtomicCounter(0)
+        self._released = AtomicCounter(0)  # messages released by consumer
+        self._head = 0  # single consumer
+
+    def try_enqueue(self, payload: bytes) -> bool:
+        """Insert one message; False when the ring is full."""
+        if RECORD_HEADER.size + len(payload) > self.slot_size:
+            raise ValueError("payload exceeds slot size")
+        while True:
+            tail = self._tail.load()
+            if tail - self._released.load() >= self.slots:
+                return False  # ring full: oldest slot not yet released
+            if self._tail.compare_and_swap(tail, tail + 1):
+                break
+        slot = tail % self.slots
+        self._payloads[slot] = payload
+        self._flags[slot].store(1)
+        return True
+
+    def try_consume(self) -> Optional[bytes]:
+        """Pop exactly one message (no batching), or None if empty."""
+        slot = self._head % self.slots
+        if self._flags[slot].load() != 1:
+            return None
+        payload = self._payloads[slot]
+        self._payloads[slot] = None
+        self._flags[slot].store(0)  # release: the per-message DMA write
+        self._released.fetch_add(1)
+        self._head += 1
+        return payload
+
+
+class LockRing(_ByteRing):
+    """A mutex-guarded ring: the lock-based baseline of Figure 17."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._lock = threading.Lock()
+        self._head = 0
+        self._tail = 0
+
+    def try_enqueue(self, payload: bytes) -> bool:
+        """Insert one record under the ring lock."""
+        size = self.record_size(payload)
+        if size > self.capacity:
+            raise ValueError("record exceeds ring capacity")
+        with self._lock:
+            if self._tail - self._head + size > self.capacity:
+                return False
+            self._write_at(self._tail, RECORD_HEADER.pack(len(payload)))
+            self._write_at(self._tail + RECORD_HEADER.size, payload)
+            self._tail += size
+            return True
+
+    def try_consume(self) -> Optional[List[bytes]]:
+        """Drain all queued records under the ring lock."""
+        with self._lock:
+            if self._tail == self._head:
+                return None
+            records = self._split_records(self._head, self._tail)
+            self._head = self._tail
+            return records

@@ -1,0 +1,129 @@
+"""Tests for the experiment harness, echo bench, and RMW bench."""
+
+import pytest
+
+from repro.bench import (
+    RESPONDERS,
+    EchoBench,
+    build_cluster,
+    find_peak,
+    run_io_experiment,
+    run_rmw_scaling,
+    sweep,
+)
+from repro.sim import Environment
+
+
+class TestHarness:
+    def test_unknown_solution_rejected(self):
+        with pytest.raises(ValueError, match="unknown solution"):
+            build_cluster("nope")
+
+    def test_cluster_has_preallocated_database(self):
+        cluster = build_cluster("baseline", db_bytes=8 << 20)
+        assert cluster.filesystem.file_size(cluster.file_id) == 8 << 20
+
+    def test_result_fields_consistent(self):
+        result = run_io_experiment(
+            "dds-files", 100e3, total_requests=1200, db_bytes=16 << 20
+        )
+        assert result.kind == "dds-files"
+        assert len(result.latencies) == 1200
+        assert result.achieved_iops == pytest.approx(
+            1200 / result.elapsed
+        )
+        assert result.total_cores == pytest.approx(
+            result.host_cores + result.client_cores
+        )
+
+    def test_sweep_runs_each_point(self):
+        results = sweep(
+            "local-os",
+            [50e3, 100e3],
+            total_requests=800,
+            db_bytes=16 << 20,
+        )
+        assert [r.offered_iops for r in results] == [50e3, 100e3]
+        assert results[1].achieved_iops > results[0].achieved_iops
+
+    def test_find_peak_stops_at_saturation(self):
+        peak = find_peak(
+            "baseline",
+            start_iops=200e3,
+            total_requests=1500,
+            db_bytes=16 << 20,
+        )
+        # The baseline saturates around 390-400K: the peak search must
+        # land there, not at the last offered point.
+        assert 300e3 < peak.achieved_iops < 470e3
+
+    def test_seed_determinism(self):
+        a = run_io_experiment(
+            "dds-offload", 150e3, total_requests=1000,
+            db_bytes=16 << 20, seed=5,
+        )
+        b = run_io_experiment(
+            "dds-offload", 150e3, total_requests=1000,
+            db_bytes=16 << 20, seed=5,
+        )
+        assert a.achieved_iops == b.achieved_iops
+        assert a.latencies == b.latencies
+
+    def test_different_seeds_differ(self):
+        a = run_io_experiment(
+            "dds-offload", 150e3, total_requests=1000,
+            db_bytes=16 << 20, seed=5,
+        )
+        b = run_io_experiment(
+            "dds-offload", 150e3, total_requests=1000,
+            db_bytes=16 << 20, seed=6,
+        )
+        assert a.latencies != b.latencies
+
+
+class TestEchoBench:
+    def test_all_responders_measurable(self):
+        for responder in RESPONDERS:
+            result = EchoBench(Environment()).measure(responder, 256)
+            assert result.rtt > 0
+            assert result.server_latency > 0
+            assert result.rtt > result.server_latency
+
+    def test_unknown_responder_rejected(self):
+        with pytest.raises(ValueError):
+            EchoBench(Environment()).measure("carrier-pigeon", 64)
+
+    def test_latency_grows_with_size(self):
+        bench = EchoBench(Environment())
+        series = bench.series("host-os", [64, 4096, 65536])
+        rtts = [r.rtt for r in series]
+        assert rtts == sorted(rtts)
+
+    def test_figure4_shape(self):
+        host = EchoBench(Environment()).measure("host-os", 64)
+        dpu = EchoBench(Environment()).measure("dpu-raw", 64)
+        assert dpu.rtt < host.rtt
+
+    def test_figure19_shape(self):
+        host = EchoBench(Environment()).measure("host-os", 64)
+        linux = EchoBench(Environment()).measure("dpu-linux", 64)
+        tldk = EchoBench(Environment()).measure("dpu-tldk", 64)
+        assert tldk.server_latency < host.server_latency < (
+            linux.server_latency
+        )
+
+
+class TestRmwBench:
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            run_rmw_scaling("gpu", 4)
+
+    def test_host_faster_than_dpu(self):
+        host = run_rmw_scaling("host", 4, ops_per_thread=400)
+        dpu = run_rmw_scaling("dpu", 4, ops_per_thread=400)
+        assert host.throughput > 2 * dpu.throughput
+
+    def test_dpu_caps_at_eight_threads(self):
+        eight = run_rmw_scaling("dpu", 8, ops_per_thread=400)
+        sixteen = run_rmw_scaling("dpu", 16, ops_per_thread=400)
+        assert sixteen.throughput < 1.15 * eight.throughput

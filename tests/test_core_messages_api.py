@@ -1,0 +1,119 @@
+"""Tests for the wire codec (Figure 9) and the offload API (Table 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    IoRequest,
+    IoResponse,
+    OpCode,
+    ReadOp,
+    passthrough_callbacks,
+)
+from repro.structures import CuckooCacheTable
+
+
+class TestRequestCodec:
+    def test_read_roundtrip(self):
+        request = IoRequest(OpCode.READ, 7, 3, 4096, 1024, tag=99)
+        decoded = IoRequest.decode(request.encode())
+        assert decoded == request
+
+    def test_write_roundtrip_inlines_payload(self):
+        payload = bytes(range(256))
+        request = IoRequest(OpCode.WRITE, 8, 3, 0, 256, payload)
+        encoded = request.encode()
+        assert payload in encoded  # Figure 9: data inlined after header
+        assert IoRequest.decode(encoded) == request
+
+    def test_write_requires_matching_payload(self):
+        with pytest.raises(ValueError):
+            IoRequest(OpCode.WRITE, 1, 1, 0, 10, b"short")
+        with pytest.raises(ValueError):
+            IoRequest(OpCode.WRITE, 1, 1, 0, 10, None)
+
+    def test_read_rejects_payload(self):
+        with pytest.raises(ValueError):
+            IoRequest(OpCode.READ, 1, 1, 0, 10, b"0123456789")
+
+    def test_truncated_header_rejected(self):
+        request = IoRequest(OpCode.READ, 7, 3, 0, 10)
+        with pytest.raises(ValueError):
+            IoRequest.decode(request.encode()[:-1 - 0][:10])
+
+    def test_truncated_write_payload_rejected(self):
+        request = IoRequest(OpCode.WRITE, 7, 3, 0, 10, b"x" * 10)
+        with pytest.raises(ValueError):
+            IoRequest.decode(request.encode()[:-3])
+
+    def test_wire_size_matches_encoding(self):
+        read = IoRequest(OpCode.READ, 1, 1, 0, 4096)
+        write = IoRequest(OpCode.WRITE, 2, 1, 0, 128, bytes(128))
+        assert len(read.encode()) == read.wire_size
+        assert len(write.encode()) == write.wire_size
+        assert write.wire_size == read.wire_size + 128
+
+    @given(
+        op=st.sampled_from([OpCode.READ, OpCode.WRITE]),
+        request_id=st.integers(min_value=0, max_value=2**63),
+        file_id=st.integers(min_value=0, max_value=2**31),
+        offset=st.integers(min_value=0, max_value=2**62),
+        size=st.integers(min_value=0, max_value=512),
+        tag=st.integers(min_value=0, max_value=2**63),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, op, request_id, file_id, offset, size, tag):
+        payload = bytes(size) if op is OpCode.WRITE else None
+        request = IoRequest(op, request_id, file_id, offset, size, payload, tag)
+        assert IoRequest.decode(request.encode()) == request
+
+
+class TestResponseCodec:
+    def test_read_response_roundtrip(self):
+        response = IoResponse(42, True, b"data here")
+        assert IoResponse.decode(response.encode()) == response
+
+    def test_header_only_response(self):
+        response = IoResponse(42, True)
+        decoded = IoResponse.decode(response.encode())
+        assert decoded.ok and decoded.data is None
+
+    def test_error_response(self):
+        response = IoResponse(42, False)
+        assert not IoResponse.decode(response.encode()).ok
+
+    def test_truncated_rejected(self):
+        response = IoResponse(42, True, b"payload")
+        with pytest.raises(ValueError):
+            IoResponse.decode(response.encode()[:-2])
+
+
+class TestPassthroughCallbacks:
+    def test_reads_offloaded_writes_to_host(self):
+        callbacks = passthrough_callbacks()
+        table = CuckooCacheTable(16)
+        requests = [
+            IoRequest(OpCode.READ, 1, 1, 0, 100),
+            IoRequest(OpCode.WRITE, 2, 1, 0, 4, b"abcd"),
+            IoRequest(OpCode.READ, 3, 1, 200, 100),
+        ]
+        host, dpu = callbacks.off_pred(requests, table)
+        assert [r.request_id for r in dpu] == [1, 3]
+        assert [r.request_id for r in host] == [2]
+
+    def test_off_func_translates_directly(self):
+        callbacks = passthrough_callbacks()
+        table = CuckooCacheTable(16)
+        request = IoRequest(OpCode.READ, 1, 9, 512, 128)
+        assert callbacks.off_func(request, table) == ReadOp(9, 512, 128)
+
+    def test_off_func_refuses_writes(self):
+        callbacks = passthrough_callbacks()
+        table = CuckooCacheTable(16)
+        request = IoRequest(OpCode.WRITE, 1, 9, 0, 4, b"abcd")
+        assert callbacks.off_func(request, table) is None
+
+    def test_cache_hooks_unused(self):
+        callbacks = passthrough_callbacks()
+        assert callbacks.cache is None and callbacks.invalidate is None

@@ -1,0 +1,43 @@
+"""Smoke checks for the runnable examples (compile + entry points)."""
+
+import os
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+EXPECTED = {
+    "quickstart.py",
+    "page_server_offload.py",
+    "kv_store_offload.py",
+    "custom_offload.py",
+    "ring_buffer_tour.py",
+    "accelerated_dpu.py",
+}
+
+
+def example_files():
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+
+
+def test_all_expected_examples_present():
+    assert EXPECTED.issubset(set(example_files()))
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_example_compiles(name):
+    py_compile.compile(
+        os.path.join(EXAMPLES_DIR, name), doraise=True
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_example_has_main_guard_and_docstring(name):
+    source = open(os.path.join(EXAMPLES_DIR, name)).read()
+    assert '"""' in source.split("\n", 2)[1] + source[:200]
+    assert 'if __name__ == "__main__":' in source

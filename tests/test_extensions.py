@@ -1,0 +1,192 @@
+"""Tests for the §11 future-work extensions: accelerators, pushdown."""
+
+import re
+
+import pytest
+
+from repro.extensions import (
+    ARM_SOFTWARE_COMPRESSION,
+    BF2_COMPRESSION,
+    BF2_REGEX,
+    CompressedPageStore,
+    HardwareAccelerator,
+    PushdownScanner,
+    compile_pattern,
+    compress_page,
+    decompress_page,
+    regex_scan,
+    run_compressed_read_experiment,
+    run_pushdown_experiment,
+)
+from repro.hardware import CpuCore
+from repro.sim import Environment
+
+
+class TestHardwareAccelerator:
+    def test_job_time_scales_with_bytes(self):
+        env = Environment()
+        engine = HardwareAccelerator(env, BF2_COMPRESSION)
+        assert engine.job_time(1 << 20) > engine.job_time(1 << 10)
+
+    def test_hardware_is_much_faster_than_software(self):
+        env = Environment()
+        hw = HardwareAccelerator(env, BF2_COMPRESSION)
+        sw = HardwareAccelerator(env, ARM_SOFTWARE_COMPRESSION)
+        assert sw.job_time(1 << 20) > 20 * hw.job_time(1 << 20)
+
+    def test_process_takes_engine_time(self):
+        env = Environment()
+        engine = HardwareAccelerator(env, BF2_REGEX)
+
+        def main():
+            yield from engine.process(1 << 20)
+            return env.now
+
+        proc = env.process(main())
+        env.run(until=proc)
+        assert proc.value == pytest.approx(engine.job_time(1 << 20))
+        assert engine.jobs == 1 and engine.bytes_processed == 1 << 20
+
+    def test_channels_limit_concurrency(self):
+        env = Environment()
+        engine = HardwareAccelerator(env, BF2_COMPRESSION)  # 2 channels
+        finish = []
+
+        def job():
+            yield from engine.process(8 << 20)
+            finish.append(env.now)
+
+        for _ in range(4):
+            env.process(job())
+        env.run()
+        # With 2 channels, 4 equal jobs finish in two waves.
+        assert finish[1] == pytest.approx(finish[0])
+        assert finish[2] > finish[1]
+
+    def test_software_fallback_charges_the_core(self):
+        env = Environment()
+        core = CpuCore(env, speed=0.35)
+        engine = HardwareAccelerator(
+            env, ARM_SOFTWARE_COMPRESSION, software_core=core
+        )
+
+        def main():
+            yield from engine.process(1 << 16)
+
+        proc = env.process(main())
+        env.run(until=proc)
+        assert core.busy_time > 0
+
+    def test_negative_job_rejected(self):
+        env = Environment()
+        engine = HardwareAccelerator(env, BF2_COMPRESSION)
+        with pytest.raises(ValueError):
+            list(engine.process(-1))
+
+
+class TestTransforms:
+    def test_compress_roundtrip(self):
+        page = b"A" * 4096 + bytes(range(256)) * 16
+        assert decompress_page(compress_page(page)) == page
+
+    def test_compression_actually_compresses(self):
+        page = b"repetitive " * 700
+        assert len(compress_page(page)) < len(page) / 4
+
+    def test_regex_scan_finds_records(self):
+        records = [b"x" * 64, b"hit-here" + b"y" * 56, b"z" * 64]
+        data = b"".join(records)
+        matches = regex_scan(data, re.compile(rb"hit-\w+"), 64)
+        assert matches == [(1, records[1])]
+
+    def test_regex_scan_record_boundaries(self):
+        # A needle split across two records must not match.
+        data = b"a" * 60 + b"need" + b"le--" + b"b" * 60
+        matches = regex_scan(data, re.compile(rb"needle"), 64)
+        assert matches == []
+
+    def test_regex_scan_invalid_record_size(self):
+        with pytest.raises(ValueError):
+            regex_scan(b"abc", re.compile(rb"a"), 0)
+
+
+class TestCompressedStore:
+    def test_roundtrip_integrity_all_modes(self):
+        for mode in ("none", "software", "accel"):
+            env = Environment()
+            store = CompressedPageStore(env, pages=24, mode=mode)
+
+            def main():
+                page = yield env.process(store.read_page(7))
+                return page
+
+            proc = env.process(main())
+            env.run(until=proc)
+            assert store.verify(7, proc.value), mode
+
+    def test_compression_saves_storage(self):
+        env = Environment()
+        store = CompressedPageStore(env, pages=24, mode="accel",
+                                    redundancy=0.9)
+        assert store.compression_ratio > 2.0
+
+    def test_incompressible_pages_stored_raw(self):
+        env = Environment()
+        store = CompressedPageStore(
+            env, pages=24, mode="accel", redundancy=0.0
+        )
+        assert store.compression_ratio <= 1.01
+
+    def test_unknown_page_rejected(self):
+        env = Environment()
+        store = CompressedPageStore(env, pages=8, mode="none")
+        with pytest.raises(KeyError):
+            list(store.read_page(99))
+
+    def test_experiment_shapes(self):
+        accel = run_compressed_read_experiment("accel", pages=48, reads=320)
+        software = run_compressed_read_experiment(
+            "software", pages=48, reads=320
+        )
+        plain = run_compressed_read_experiment("none", pages=48, reads=320)
+        # Hardware decompression keeps ~plain throughput while reading
+        # far fewer SSD bytes; the software path collapses.
+        assert accel.throughput > 0.85 * plain.throughput
+        assert accel.ssd_bytes_per_page < 0.5 * plain.ssd_bytes_per_page
+        assert software.throughput < 0.5 * accel.throughput
+
+
+class TestPushdown:
+    def test_all_modes_return_identical_matches(self):
+        results = {
+            mode: run_pushdown_experiment(mode, pages=32)
+            for mode in ("ship-all", "dpu-software", "dpu-regex")
+        }
+        counts = {r.matches for r in results.values()}
+        assert len(counts) == 1
+
+    def test_pushdown_saves_wire_bytes(self):
+        ship = run_pushdown_experiment("ship-all", pages=32)
+        regex = run_pushdown_experiment("dpu-regex", pages=32)
+        assert regex.wire_bytes < 0.2 * ship.wire_bytes
+
+    def test_regex_engine_beats_software_scan(self):
+        software = run_pushdown_experiment("dpu-software", pages=32)
+        regex = run_pushdown_experiment("dpu-regex", pages=32)
+        assert regex.scan_seconds < software.scan_seconds
+        assert regex.arm_core_seconds == 0.0
+        assert software.arm_core_seconds > 0.0
+
+    def test_selectivity_controls_wire_bytes(self):
+        low = run_pushdown_experiment("dpu-regex", pages=32,
+                                      selectivity=0.02)
+        high = run_pushdown_experiment("dpu-regex", pages=32,
+                                       selectivity=0.30)
+        assert high.wire_bytes > 3 * low.wire_bytes
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            PushdownScanner(env, mode="fpga")
+        with pytest.raises(ValueError):
+            PushdownScanner(env, selectivity=1.5)

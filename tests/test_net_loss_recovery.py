@@ -1,0 +1,124 @@
+"""TCP loss recovery: property tests over lossy, reordering channels."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import MSS, TcpReceiver, TcpSender
+
+
+def lossy_exchange(
+    data: bytes,
+    loss_rate: float,
+    reorder: bool,
+    seed: int,
+    max_rounds: int = 400,
+) -> TcpReceiver:
+    """Drive a transfer over a channel that drops and reorders."""
+    rng = random.Random(seed)
+    sender, receiver = TcpSender(), TcpReceiver()
+    sender.write(data)
+    for _round in range(max_rounds):
+        if receiver.stats.bytes_delivered >= len(data):
+            break
+        segments = sender.transmit() + sender.on_tick()
+        if reorder and len(segments) > 1:
+            rng.shuffle(segments)
+        acks = []
+        for segment in segments:
+            if rng.random() < loss_rate:
+                continue  # dropped on the wire
+            acks.append(receiver.on_segment(segment))
+        for ack in acks:
+            if rng.random() < loss_rate:
+                continue  # ACK dropped too
+            for retransmit in sender.on_ack(ack.ack):
+                if rng.random() < loss_rate:
+                    continue
+                receiver.on_segment(retransmit)
+    return receiver
+
+
+class TestRto:
+    def test_tail_loss_recovered_by_timeout(self):
+        """The last segment is lost: only the RTO can recover it."""
+        sender, receiver = TcpSender(), TcpReceiver()
+        data = b"z" * (3 * MSS)
+        sender.write(data)
+        segments = sender.transmit()
+        for segment in segments[:-1]:  # drop the tail segment
+            sender.on_ack(receiver.on_segment(segment).ack)
+        assert receiver.stats.bytes_delivered < len(data)
+        # No further traffic: ticks must eventually fire the RTO.
+        recovered = []
+        for _ in range(TcpSender.RTO_TICKS):
+            recovered = sender.on_tick()
+        assert len(recovered) == 1
+        receiver.on_segment(recovered[0])
+        assert receiver.stats.bytes_delivered == len(data)
+        assert receiver.read() == data
+
+    def test_rto_collapses_window(self):
+        sender = TcpSender(initial_cwnd=32)
+        sender.write(b"x" * (4 * MSS))
+        sender.transmit()
+        for _ in range(TcpSender.RTO_TICKS):
+            sender.on_tick()
+        assert sender.cwnd <= 16
+
+    def test_no_rto_when_idle(self):
+        sender = TcpSender()
+        for _ in range(10):
+            assert sender.on_tick() == []
+        assert sender.stats.retransmissions == 0
+
+    def test_ack_progress_resets_timer(self):
+        sender, receiver = TcpSender(), TcpReceiver()
+        sender.write(b"x" * (6 * MSS))
+        for _round in range(4):
+            segments = sender.transmit()
+            sender.on_tick()
+            sender.on_tick()  # almost timing out...
+            for segment in segments:
+                sender.on_ack(receiver.on_segment(segment).ack)
+        # Steady ACK progress: the RTO never fired.
+        assert sender.stats.retransmissions == 0
+
+
+class TestLossyChannelProperties:
+    @given(
+        payload_kib=st.integers(min_value=1, max_value=24),
+        loss_permille=st.integers(min_value=0, max_value=150),
+        reorder=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stream_always_delivered_in_order(
+        self, payload_kib, loss_permille, reorder, seed
+    ):
+        """Any loss rate up to 15% + reordering: the stream arrives
+        complete, in order, exactly once."""
+        data = bytes(
+            (i * 31 + seed) & 0xFF for i in range(payload_kib * 1024)
+        )
+        receiver = lossy_exchange(
+            data, loss_permille / 1000, reorder, seed
+        )
+        assert receiver.stats.bytes_delivered == len(data)
+        assert receiver.read() == data
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_lossless_channel_never_retransmits(self, seed):
+        data = bytes(seed % 251 for _ in range(8 * MSS))
+        sender, receiver = TcpSender(), TcpReceiver()
+        sender.write(data)
+        for _ in range(50):
+            segments = sender.transmit()
+            if not segments and sender.bytes_in_flight == 0:
+                break
+            for segment in segments:
+                sender.on_ack(receiver.on_segment(segment).ack)
+        assert sender.stats.retransmissions == 0
+        assert receiver.read() == data

@@ -1,0 +1,116 @@
+"""The PEP's response leg: one ordered stream back to the client."""
+
+from repro.net import (
+    LengthPrefixFramer,
+    TcpReceiver,
+    TcpSender,
+    TcpSplittingPep,
+)
+
+
+def drain_to_client(pep, client_receiver, segments):
+    """Deliver client-leg segments and feed ACKs back to the PEP."""
+    for segment in segments:
+        ack = client_receiver.on_segment(segment)
+        for retransmit in pep.on_client_ack(ack):
+            client_receiver.on_segment(retransmit)
+
+
+class TestResponseRelay:
+    def test_offloaded_responses_reach_the_client(self):
+        pep = TcpSplittingPep(lambda m: True)
+        client_rx = TcpReceiver()
+        framer = LengthPrefixFramer()
+        for i in range(5):
+            segments = pep.send_response(b"resp-%d" % i)
+            drain_to_client(pep, client_rx, segments)
+        # Window drain: emit anything still queued.
+        drain_to_client(pep, client_rx, pep.client_sender.transmit())
+        messages = framer.feed(client_rx.read())
+        assert messages == [b"resp-%d" % i for i in range(5)]
+        assert pep.responses_relayed == 5
+
+    def test_host_responses_relayed_through_the_proxy(self):
+        pep = TcpSplittingPep(lambda m: False)
+        client_rx = TcpReceiver()
+        framer = LengthPrefixFramer()
+        # The host answers on its own connection: a sender on the host
+        # side streams framed responses toward the DPU.
+        host_tx = TcpSender()
+        for i in range(4):
+            host_tx.write(LengthPrefixFramer.encode(b"host-%d" % i))
+        for _round in range(10):
+            segments = host_tx.transmit()
+            if not segments and host_tx.bytes_in_flight == 0:
+                break
+            for segment in segments:
+                ack, client_segments = pep.on_host_response_segment(segment)
+                host_tx.on_ack(ack.ack)
+                drain_to_client(pep, client_rx, client_segments)
+        drain_to_client(pep, client_rx, pep.client_sender.transmit())
+        messages = framer.feed(client_rx.read())
+        assert messages == [b"host-%d" % i for i in range(4)]
+
+    def test_host_and_dpu_responses_interleave_in_one_stream(self):
+        pep = TcpSplittingPep(lambda m: True)
+        client_rx = TcpReceiver()
+        framer = LengthPrefixFramer()
+        host_tx = TcpSender()
+        # DPU response, then a host response, then another DPU response.
+        drain_to_client(pep, client_rx, pep.send_response(b"dpu-1"))
+        host_tx.write(LengthPrefixFramer.encode(b"host-1"))
+        for segment in host_tx.transmit():
+            ack, client_segments = pep.on_host_response_segment(segment)
+            host_tx.on_ack(ack.ack)
+            drain_to_client(pep, client_rx, client_segments)
+        drain_to_client(pep, client_rx, pep.send_response(b"dpu-2"))
+        drain_to_client(pep, client_rx, pep.client_sender.transmit())
+        messages = framer.feed(client_rx.read())
+        assert messages == [b"dpu-1", b"host-1", b"dpu-2"]
+        # The client leg saw a perfectly ordered stream: no recovery.
+        assert client_rx.stats.dup_acks_sent == 0
+        assert pep.client_sender.stats.retransmissions == 0
+
+    def test_full_request_response_loop(self):
+        """Client requests split host/DPU; every response comes home."""
+        pep = TcpSplittingPep(lambda m: m[0:1] == b"R")
+        client_tx, client_rx = TcpSender(), TcpReceiver()
+        host_rx = TcpReceiver()
+        host_tx = TcpSender()
+        host_framer = LengthPrefixFramer()
+        requests = [b"R-read-1", b"W-write-1", b"R-read-2", b"W-write-2"]
+        for message in requests:
+            client_tx.write(LengthPrefixFramer.encode(message))
+        # Forward path.
+        for _round in range(10):
+            segments = client_tx.transmit()
+            if not segments and client_tx.bytes_in_flight == 0:
+                break
+            for segment in segments:
+                ack, host_segments = pep.on_client_segment(segment)
+                client_tx.on_ack(ack.ack)
+                for host_segment in host_segments:
+                    host_ack = host_rx.on_segment(host_segment)
+                    pep.on_host_ack(host_ack)
+        # The DPU answers offloaded reads directly...
+        for message in pep.offloaded:
+            drain_to_client(pep, client_rx, pep.send_response(b"ok:" + message))
+        # ...the host answers the writes over its connection.
+        for message in host_framer.feed(host_rx.read()):
+            host_tx.write(LengthPrefixFramer.encode(b"ok:" + message))
+        for _round in range(10):
+            segments = host_tx.transmit()
+            if not segments and host_tx.bytes_in_flight == 0:
+                break
+            for segment in segments:
+                ack, client_segments = pep.on_host_response_segment(segment)
+                host_tx.on_ack(ack.ack)
+                drain_to_client(pep, client_rx, client_segments)
+        drain_to_client(pep, client_rx, pep.client_sender.transmit())
+        client_framer = LengthPrefixFramer()
+        responses = client_framer.feed(client_rx.read())
+        assert sorted(responses) == sorted(
+            b"ok:" + message for message in requests
+        )
+        assert client_tx.stats.retransmissions == 0
+        assert pep.client_sender.stats.retransmissions == 0

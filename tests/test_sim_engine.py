@@ -1,0 +1,294 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 5.0
+    assert env.now == 5.0
+
+
+def test_zero_delay_timeout_runs_same_timestamp():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1, value="hello")
+        return got
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "hello"
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 3, "c"))
+    env.process(proc(env, 1, "a"))
+    env.process(proc(env, 2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_waits_on_another_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(4)
+        return 42
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result + 1
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == 43
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter(env):
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(2)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert log == [(2.0, "open")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    gate = env.event()
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    p = env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert p.value == "caught boom"
+
+
+def test_unwatched_process_failure_raises():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("unwatched")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="unwatched"):
+        env.run()
+
+
+def test_watched_process_failure_delivered_to_waiter():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("delivered")
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError:
+            return "handled"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "handled"
+
+
+def test_run_until_time_stops_clock_there():
+    env = Environment()
+    ticks = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=never)
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+
+    def proc(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def main(env):
+        events = [
+            env.process(proc(env, 3, "x")),
+            env.process(proc(env, 1, "y")),
+        ]
+        values = yield env.all_of(events)
+        return values
+
+    p = env.process(main(env))
+    env.run()
+    assert p.value == ["x", "y"]
+    assert env.now == 3.0
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+    joined = env.all_of([])
+    env.run()
+    assert joined.triggered and joined.value == []
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def main(env):
+        fast = env.process(proc(env, 1, "fast"))
+        slow = env.process(proc(env, 9, "slow"))
+        event, value = yield env.any_of([fast, slow])
+        return value
+
+    p = env.process(main(env))
+    env.run()
+    assert p.value == "fast"
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="must yield Event"):
+        env.run()
+
+
+def test_interrupt_thrown_into_process():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt(cause="wakeup")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == ("interrupted", "wakeup", 2.0)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(4)
+    assert env.peek() == 4.0
+    env2 = Environment()
+    assert env2.peek() == float("inf")
+
+
+def test_deterministic_fifo_at_same_timestamp():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in range(10):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == list(range(10))

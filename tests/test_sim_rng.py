@@ -1,0 +1,71 @@
+"""Tests for the deterministic RNG helpers."""
+
+from repro.sim import SeededRng, ZipfGenerator
+
+
+def test_same_seed_same_stream():
+    a, b = SeededRng(7), SeededRng(7)
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_spawn_streams_are_stable_and_independent():
+    parent1, parent2 = SeededRng(7), SeededRng(7)
+    child1 = parent1.spawn("workload")
+    child2 = parent2.spawn("workload")
+    assert [child1.random() for _ in range(10)] == [
+        child2.random() for _ in range(10)
+    ]
+    other = SeededRng(7).spawn("different-label")
+    assert child1.random() != other.random()
+
+
+def test_exponential_mean_roughly_correct():
+    rng = SeededRng(3)
+    n = 20_000
+    mean = sum(rng.exponential(5.0) for _ in range(n)) / n
+    assert 4.8 < mean < 5.2
+
+
+def test_exponential_zero_mean_is_zero():
+    assert SeededRng(0).exponential(0) == 0.0
+
+
+def test_bounded_exponential_respects_cap():
+    rng = SeededRng(11)
+    cap = 2.0 * 3.0
+    assert all(
+        rng.bounded_exponential(2.0, cap_factor=3.0) <= cap
+        for _ in range(5000)
+    )
+
+
+class TestZipf:
+    def test_draws_within_range(self):
+        gen = ZipfGenerator(100, theta=0.99, rng=SeededRng(5))
+        draws = [gen.draw() for _ in range(2000)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew_prefers_low_keys(self):
+        gen = ZipfGenerator(1000, theta=0.99, rng=SeededRng(5))
+        draws = [gen.draw() for _ in range(20_000)]
+        head = sum(1 for d in draws if d < 10)
+        # With theta=0.99 the top-10 keys of 1000 carry a large share.
+        assert head / len(draws) > 0.25
+
+    def test_theta_zero_is_uniform(self):
+        gen = ZipfGenerator(10, theta=0.0, rng=SeededRng(5))
+        draws = [gen.draw() for _ in range(20_000)]
+        counts = [draws.count(k) / len(draws) for k in range(10)]
+        assert all(0.07 < c < 0.13 for c in counts)
+
+    def test_single_key(self):
+        gen = ZipfGenerator(1, rng=SeededRng(1))
+        assert gen.draw() == 0
+
+    def test_invalid_args(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=-1)

@@ -1,0 +1,123 @@
+"""Guard rails on the calibration constants (repro/hardware/specs.py).
+
+Every constant anchors to a number in the paper; these tests pin the
+relationships the figures depend on, so an accidental edit that would
+silently bend a figure's shape fails loudly here instead.
+"""
+
+import pytest
+
+from repro.hardware import (
+    BENCH_APP_NET,
+    DDS_FILE_LIBRARY,
+    DPU_CPU,
+    DPU_LINUX_TCP,
+    DPU_TLDK,
+    HOST_APP_NET,
+    HOST_APP_OTHER,
+    HOST_CPU,
+    HOST_OS_FS,
+    HOST_OS_TCP,
+    HOST_TLDK,
+    NIC_100G,
+    NVME_1TB,
+    PCIE_GEN4_DMA,
+    RDMA_VERBS,
+)
+
+
+class TestCpuAnchors:
+    def test_host_is_two_24_core_epycs(self):
+        assert HOST_CPU.cores == 48 and HOST_CPU.speed == 1.0
+
+    def test_bf2_is_eight_wimpy_arm_cores(self):
+        """§7: 8 Armv8 A72 cores; Figure 5 anchors the speed ratio."""
+        assert DPU_CPU.cores == 8
+        assert 0.2 < DPU_CPU.speed < 0.5
+
+
+class TestSsdAnchors:
+    def test_small_read_ceiling_near_figure_14_peak(self):
+        """DDS offload peaks at ~730K 1 KiB IOPS, device-bound."""
+        assert 700e3 < NVME_1TB.max_read_iops < 900e3
+
+    def test_write_ceiling_near_figure_15b_peak(self):
+        """DDS files peaks at ~290K write IOPS, device-bound."""
+        assert 280e3 < NVME_1TB.max_write_iops < 400e3
+
+    def test_reads_faster_than_writes(self):
+        assert NVME_1TB.read_latency < NVME_1TB.write_latency
+        assert NVME_1TB.read_bandwidth > NVME_1TB.write_bandwidth
+
+
+class TestNetworkAnchors:
+    def test_link_is_100_gbps(self):
+        assert NIC_100G.bandwidth == pytest.approx(100e9 / 8)
+        assert NIC_100G.mtu == 1500
+
+    def test_dpu_forward_near_six_microseconds(self):
+        """§5.3: ~6 us to forward a packet via an Arm core."""
+        assert 4e-6 < NIC_100G.dpu_forward < 8e-6
+
+    def test_stack_cost_ordering(self):
+        """The layering story of §1/§5: RDMA < TLDK < kernel stacks,
+        and the DBMS network module is the most expensive of all."""
+        size = 1024
+
+        def cost(spec):
+            return spec.per_message_core_time + size * spec.per_byte_core_time
+
+        assert cost(RDMA_VERBS) < cost(DPU_TLDK) < cost(HOST_OS_TCP)
+        assert cost(HOST_TLDK) < cost(HOST_OS_TCP)
+        assert cost(HOST_OS_TCP) < cost(HOST_APP_NET)
+        assert cost(BENCH_APP_NET) < cost(HOST_APP_NET)
+
+    def test_linux_on_dpu_worse_than_host_kernel(self):
+        """Figure 19's premise, including the wimpy-core scaling."""
+        size = 64
+
+        def wall(spec, speed):
+            return (
+                spec.per_message_core_time + size * spec.per_byte_core_time
+            ) / speed + spec.per_message_latency
+
+        assert wall(DPU_LINUX_TCP, DPU_CPU.speed) > wall(HOST_OS_TCP, 1.0)
+
+    def test_tldk_on_dpu_clearly_beats_linux_on_dpu(self):
+        """Raw stack costs separate by several x; the end-to-end echo
+        path (bench/echo.py, which adds app wakeups the raw spec omits)
+        lands at the paper's ~3x."""
+        size = 64
+
+        def wall(spec):
+            return (
+                spec.per_message_core_time + size * spec.per_byte_core_time
+            ) / DPU_CPU.speed + spec.per_message_latency
+
+        ratio = wall(DPU_LINUX_TCP) / wall(DPU_TLDK)
+        assert 2.0 < ratio < 10.0
+
+
+class TestStoragePathAnchors:
+    def test_library_is_an_order_cheaper_than_os_files(self):
+        """Figure 14a's core saving: ~1 us library vs ~13 us OS path."""
+        size = 1024
+
+        def cost(spec):
+            return spec.per_message_core_time + size * spec.per_byte_core_time
+
+        assert cost(DDS_FILE_LIBRARY) < cost(HOST_OS_FS) / 8
+
+    def test_app_other_is_a_minor_component(self):
+        assert (
+            HOST_APP_OTHER.per_message_core_time
+            < HOST_OS_FS.per_message_core_time
+        )
+
+
+class TestDmaAnchors:
+    def test_op_latency_dominates_small_transfers(self):
+        """Figure 17's premise: per-op cost, not bandwidth, limits
+        message-granularity DMA."""
+        small_payload_time = 64 / PCIE_GEN4_DMA.bandwidth
+        assert PCIE_GEN4_DMA.op_latency > 100 * small_payload_time

@@ -1,0 +1,287 @@
+"""Tests for the DDS filesystem: namespace, data path, persistence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import HOST_CPU, CpuPool
+from repro.sim import Environment
+from repro.storage import (
+    DdsFileSystem,
+    FileSystemError,
+    OsFileSystem,
+    RamDisk,
+    SpdkBdev,
+)
+
+SEGMENT = 1 << 16  # small segments so tests cross boundaries cheaply
+
+
+def make_fs(disk_size=16 << 20, disk=None):
+    env = Environment()
+    disk = disk if disk is not None else RamDisk(disk_size)
+    bdev = SpdkBdev(env, disk)
+    return env, disk, DdsFileSystem(env, bdev, segment_size=SEGMENT)
+
+
+def run(env, generator):
+    proc = env.process(generator)
+    env.run(until=proc)
+    return proc.value
+
+
+class TestNamespace:
+    def test_create_directory_and_file(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "pages")
+        assert fs.list_directory("db") == [fid]
+        assert fs.file_size(fid) == 0
+
+    def test_duplicate_directory_rejected(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        with pytest.raises(FileSystemError):
+            fs.create_directory("db")
+
+    def test_duplicate_filename_in_directory_rejected(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fs.create_file("db", "f")
+        with pytest.raises(FileSystemError):
+            fs.create_file("db", "f")
+
+    def test_same_name_in_different_directories_ok(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("a")
+        fs.create_directory("b")
+        assert fs.create_file("a", "f") != fs.create_file("b", "f")
+
+    def test_missing_directory_rejected(self):
+        env, _disk, fs = make_fs()
+        with pytest.raises(FileSystemError):
+            fs.create_file("nope", "f")
+        with pytest.raises(FileSystemError):
+            fs.list_directory("nope")
+
+    def test_delete_file_frees_segments(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        run(env, fs.write(fid, 0, b"x" * (3 * SEGMENT)))
+        free_before = fs.allocator.free_segments
+        fs.delete_file(fid)
+        assert fs.allocator.free_segments == free_before + 3
+        with pytest.raises(FileSystemError):
+            fs.file_size(fid)
+        assert fs.list_directory("db") == []
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        payload = bytes(range(256)) * 8
+        run(env, fs.write(fid, 0, payload))
+        assert run(env, fs.read(fid, 0, len(payload))) == payload
+
+    def test_write_extends_file_across_segments(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        payload = b"A" * (SEGMENT + 100)
+        run(env, fs.write(fid, 0, payload))
+        assert fs.file_size(fid) == SEGMENT + 100
+        assert len(fs.file_mapping(fid)) == 2
+        assert run(env, fs.read(fid, SEGMENT - 50, 150)) == b"A" * 150
+
+    def test_sparse_write_reads_zeros_in_gap(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        run(env, fs.write(fid, 2 * SEGMENT, b"end"))
+        assert fs.file_size(fid) == 2 * SEGMENT + 3
+        assert run(env, fs.read(fid, 100, 10)) == bytes(10)
+
+    def test_overwrite_in_place(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        run(env, fs.write(fid, 0, b"aaaaaaaaaa"))
+        run(env, fs.write(fid, 3, b"BBB"))
+        assert run(env, fs.read(fid, 0, 10)) == b"aaaBBBaaaa"
+        assert fs.file_size(fid) == 10
+
+    def test_read_beyond_eof_rejected(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        run(env, fs.write(fid, 0, b"12345"))
+        with pytest.raises(FileSystemError):
+            run(env, fs.read(fid, 0, 6))
+
+    def test_zero_byte_read(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        run(env, fs.write(fid, 0, b"x"))
+        assert run(env, fs.read(fid, 0, 0)) == b""
+
+    def test_device_full_write_rejected(self):
+        env, _disk, fs = make_fs(disk_size=4 * SEGMENT)
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        with pytest.raises(FileSystemError, match="full"):
+            run(env, fs.write(fid, 0, b"x" * (4 * SEGMENT)))
+
+    def test_preallocate_sets_size_without_io(self):
+        env, disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        fs.preallocate(fid, 5 * SEGMENT)
+        assert fs.file_size(fid) == 5 * SEGMENT
+        assert env.now == 0.0  # no device time consumed
+        assert run(env, fs.read(fid, SEGMENT, 16)) == bytes(16)
+
+    def test_io_takes_simulated_time(self):
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        run(env, fs.write(fid, 0, b"x" * 1024))
+        t_after_write = env.now
+        assert t_after_write > 0
+        run(env, fs.read(fid, 0, 1024))
+        assert env.now > t_after_write
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3 * SEGMENT),
+                st.binary(min_size=1, max_size=512),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_reference_model(self, writes):
+        """The filesystem agrees with a flat bytearray reference."""
+        env, _disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        reference = bytearray()
+        for offset, data in writes:
+            run(env, fs.write(fid, offset, data))
+            if len(reference) < offset + len(data):
+                reference.extend(
+                    bytes(offset + len(data) - len(reference))
+                )
+            reference[offset : offset + len(data)] = data
+        assert fs.file_size(fid) == len(reference)
+        got = run(env, fs.read(fid, 0, len(reference)))
+        assert got == bytes(reference)
+
+
+class TestPersistence:
+    def test_metadata_roundtrip_through_disk(self):
+        env, disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "pages")
+        run(env, fs.write(fid, 0, b"persistent!" * 100))
+        run(env, fs.flush_metadata())
+
+        env2 = Environment()
+        recovered = DdsFileSystem.recover(
+            env2, SpdkBdev(env2, disk), segment_size=SEGMENT
+        )
+        assert recovered.file_size(fid) == 1100
+        assert recovered.list_directory("db") == [fid]
+        proc = env2.process(recovered.read(fid, 0, 11))
+        env2.run(until=proc)
+        assert proc.value == b"persistent!"
+
+    def test_recovery_preserves_allocator_state(self):
+        env, disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        run(env, fs.write(fid, 0, b"z" * (2 * SEGMENT)))
+        run(env, fs.flush_metadata())
+        used = fs.allocator.total_segments - fs.allocator.free_segments
+
+        env2 = Environment()
+        recovered = DdsFileSystem.recover(
+            env2, SpdkBdev(env2, disk), segment_size=SEGMENT
+        )
+        assert (
+            recovered.allocator.total_segments
+            - recovered.allocator.free_segments
+            == used
+        )
+        # New allocations must not collide with recovered extents.
+        fresh = recovered.allocator.allocate()
+        assert fresh not in set(recovered.file_mapping(fid))
+
+    def test_recovery_of_blank_disk_fails(self):
+        env = Environment()
+        bdev = SpdkBdev(env, RamDisk(4 << 20))
+        with pytest.raises(FileSystemError):
+            DdsFileSystem.recover(env, bdev, segment_size=SEGMENT)
+
+    def test_new_files_after_recovery_get_fresh_ids(self):
+        env, disk, fs = make_fs()
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        run(env, fs.flush_metadata())
+        env2 = Environment()
+        recovered = DdsFileSystem.recover(
+            env2, SpdkBdev(env2, disk), segment_size=SEGMENT
+        )
+        assert recovered.create_file("db", "g") != fid
+
+
+class TestOsFileSystem:
+    def test_charges_host_cpu_and_serializes(self):
+        env = Environment()
+        disk = RamDisk(8 << 20)
+        fs = DdsFileSystem(env, SpdkBdev(env, disk), segment_size=SEGMENT)
+        fs.create_directory("db")
+        fid = fs.create_file("db", "f")
+        pool = CpuPool(env, HOST_CPU)
+        osfs = OsFileSystem(env, fs, pool)
+
+        def main():
+            yield self_env.process(osfs.write(fid, 0, b"k" * 1024))
+            data = yield self_env.process(osfs.read(fid, 0, 1024))
+            return data
+
+        self_env = env
+        proc = env.process(main())
+        env.run(until=proc)
+        assert proc.value == b"k" * 1024
+        assert pool.busy_time > 0
+        assert osfs.serializer.busy_time > 0
+
+    def test_slower_than_raw_filesystem(self):
+        def timed(use_os):
+            env = Environment()
+            fs = DdsFileSystem(
+                env, SpdkBdev(env, RamDisk(8 << 20)), segment_size=SEGMENT
+            )
+            fs.create_directory("db")
+            fid = fs.create_file("db", "f")
+            target = (
+                OsFileSystem(env, fs, CpuPool(env, HOST_CPU))
+                if use_os
+                else fs
+            )
+
+            def main():
+                yield env.process(target.write(fid, 0, b"x" * 1024))
+                yield env.process(target.read(fid, 0, 1024))
+
+            proc = env.process(main())
+            env.run(until=proc)
+            return env.now
+
+        assert timed(use_os=True) > timed(use_os=False)

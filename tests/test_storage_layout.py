@@ -1,0 +1,136 @@
+"""Tests for segment allocation and file-mapping translation (§4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    FileExtentMap,
+    PhysicalRun,
+    SegmentAllocator,
+    StorageFullError,
+)
+
+
+class TestSegmentAllocator:
+    def test_metadata_segment_reserved(self):
+        alloc = SegmentAllocator(10, 4096)
+        assert alloc.free_segments == 9
+        got = {alloc.allocate() for _ in range(9)}
+        assert SegmentAllocator.METADATA_SEGMENT not in got
+        assert got == set(range(1, 10))
+
+    def test_exhaustion_raises(self):
+        alloc = SegmentAllocator(3, 4096)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(StorageFullError):
+            alloc.allocate()
+
+    def test_free_enables_reuse(self):
+        alloc = SegmentAllocator(3, 4096)
+        seg = alloc.allocate()
+        alloc.allocate()
+        alloc.free(seg)
+        assert alloc.allocate() == seg
+
+    def test_cannot_free_metadata_or_unallocated(self):
+        alloc = SegmentAllocator(4, 4096)
+        with pytest.raises(ValueError):
+            alloc.free(SegmentAllocator.METADATA_SEGMENT)
+        with pytest.raises(ValueError):
+            alloc.free(2)
+        with pytest.raises(ValueError):
+            alloc.free(99)
+
+    def test_mark_allocated_for_recovery(self):
+        alloc = SegmentAllocator(4, 4096)
+        alloc.mark_allocated(2)
+        assert alloc.free_segments == 2
+        got = {alloc.allocate(), alloc.allocate()}
+        assert got == {1, 3}
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SegmentAllocator(1, 4096)
+        with pytest.raises(ValueError):
+            SegmentAllocator(10, 1000)  # not multiple of 512
+
+
+class TestFileExtentMap:
+    def test_translate_within_one_segment(self):
+        extents = FileExtentMap(4096, segments=[7])
+        runs = extents.translate(100, 200)
+        assert runs == [PhysicalRun(7 * 4096 + 100, 200)]
+
+    def test_translate_across_segments(self):
+        extents = FileExtentMap(4096, segments=[2, 9])
+        runs = extents.translate(4000, 200)
+        assert runs == [
+            PhysicalRun(2 * 4096 + 4000, 96),
+            PhysicalRun(9 * 4096, 104),
+        ]
+
+    def test_adjacent_segments_coalesce(self):
+        extents = FileExtentMap(4096, segments=[3, 4])
+        runs = extents.translate(0, 8192)
+        assert runs == [PhysicalRun(3 * 4096, 8192)]
+
+    def test_out_of_range_rejected(self):
+        extents = FileExtentMap(4096, segments=[1])
+        with pytest.raises(ValueError):
+            extents.translate(4000, 200)
+        with pytest.raises(ValueError):
+            extents.translate(-1, 10)
+
+    def test_zero_size_translation(self):
+        extents = FileExtentMap(4096, segments=[1])
+        assert extents.translate(100, 0) == []
+
+    def test_capacity_grows_with_segments(self):
+        extents = FileExtentMap(4096)
+        assert extents.capacity == 0
+        extents.append_segment(5)
+        assert extents.capacity == 4096 and len(extents) == 1
+
+    @given(
+        segments=st.lists(
+            st.integers(min_value=1, max_value=500),
+            min_size=1,
+            max_size=16,
+            unique=True,
+        ),
+        offset=st.integers(min_value=0, max_value=10_000),
+        size=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_translation_covers_exact_range(
+        self, segments, offset, size
+    ):
+        segment_size = 1024
+        extents = FileExtentMap(segment_size, segments=segments)
+        if offset + size > extents.capacity:
+            with pytest.raises(ValueError):
+                extents.translate(offset, size)
+            return
+        runs = extents.translate(offset, size)
+        assert sum(r.length for r in runs) == size
+
+        def physical(logical: int) -> int:
+            index = logical // segment_size
+            within = logical % segment_size
+            return segments[index] * segment_size + within
+
+        # Every logical byte maps to the correct physical byte: walk the
+        # runs and check the run-local physical address of each byte.
+        logical = offset
+        for run in runs:
+            for delta in range(run.length):
+                assert run.disk_offset + delta == physical(logical + delta)
+            logical += run.length
+        # Runs never overlap on disk.
+        spans = sorted(
+            (r.disk_offset, r.disk_offset + r.length) for r in runs
+        )
+        for (_s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2

@@ -1,0 +1,149 @@
+"""Tests for the TailA/TailB/TailC response buffer (§4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import ResponseBuffer, ResponseStatus
+
+
+def test_allocate_advances_tail_a_only():
+    buf = ResponseBuffer(1 << 16)
+    r = buf.allocate(request_id=1, data_bytes=100)
+    assert r is not None
+    assert buf.tail_allocated == buf.response_size(100)
+    assert buf.tail_buffered == 0 and buf.tail_completed == 0
+    buf.check_invariants()
+
+
+def test_harvest_stops_at_first_pending():
+    buf = ResponseBuffer(1 << 16)
+    a = buf.allocate(1, 10)
+    b = buf.allocate(2, 10)
+    c = buf.allocate(3, 10)
+    b.complete()
+    c.complete()
+    assert buf.harvest() == 0  # head (a) still pending
+    a.complete()
+    assert buf.harvest() == 3
+    assert buf.tail_buffered == buf.tail_allocated
+    buf.check_invariants()
+
+
+def test_out_of_order_completion_delivers_in_request_order():
+    buf = ResponseBuffer(1 << 16, delivery_batch=1)
+    responses = [buf.allocate(i, 8) for i in range(5)]
+    for r in reversed(responses):
+        r.complete(payload=bytes([r.request_id]))
+    buf.harvest()
+    batch = buf.take_delivery()
+    assert [r.request_id for r in batch] == [0, 1, 2, 3, 4]
+    buf.mark_delivered(batch)
+    buf.check_invariants()
+    assert buf.tail_completed == buf.tail_allocated
+
+
+def test_delivery_waits_for_batch_size():
+    item = ResponseBuffer.HEADER_BYTES + 10
+    buf = ResponseBuffer(1 << 16, delivery_batch=3 * item)
+    for i in range(2):
+        buf.allocate(i, 10).complete()
+    buf.harvest()
+    assert buf.take_delivery() == []  # 2 items < batch of 3
+    buf.allocate(2, 10).complete()
+    buf.harvest()
+    batch = buf.take_delivery()
+    assert len(batch) == 3
+
+
+def test_force_flushes_partial_batch():
+    buf = ResponseBuffer(1 << 16, delivery_batch=1 << 12)
+    buf.allocate(1, 4).complete()
+    buf.harvest()
+    assert buf.take_delivery() == []
+    batch = buf.take_delivery(force=True)
+    assert len(batch) == 1
+
+
+def test_allocate_backpressure_when_full():
+    buf = ResponseBuffer(ResponseBuffer.HEADER_BYTES * 2 + 10)
+    first = buf.allocate(1, 10)
+    assert first is not None
+    assert buf.allocate(2, 10) is None  # no space until delivery
+    first.complete()
+    buf.harvest()
+    buf.mark_delivered(buf.take_delivery(force=True))
+    assert buf.allocate(2, 10) is not None
+    buf.check_invariants()
+
+
+def test_error_completion_flows_through():
+    buf = ResponseBuffer(1 << 16, delivery_batch=1)
+    r = buf.allocate(1, 10)
+    r.complete(ResponseStatus.IO_ERROR)
+    buf.harvest()
+    batch = buf.take_delivery()
+    assert batch[0].status is ResponseStatus.IO_ERROR
+
+
+def test_double_complete_rejected():
+    buf = ResponseBuffer(1 << 16)
+    r = buf.allocate(1, 10)
+    r.complete()
+    with pytest.raises(RuntimeError):
+        r.complete()
+
+
+def test_complete_as_pending_rejected():
+    buf = ResponseBuffer(1 << 16)
+    r = buf.allocate(1, 10)
+    with pytest.raises(ValueError):
+        r.complete(ResponseStatus.PENDING)
+
+
+def test_out_of_order_delivery_detected():
+    buf = ResponseBuffer(1 << 16, delivery_batch=1)
+    a = buf.allocate(1, 10)
+    b = buf.allocate(2, 10)
+    a.complete()
+    b.complete()
+    buf.harvest()
+    batch = buf.take_delivery()
+    with pytest.raises(RuntimeError):
+        buf.mark_delivered(list(reversed(batch)))
+
+
+def test_oversized_response_rejected():
+    buf = ResponseBuffer(64)
+    with pytest.raises(ValueError):
+        buf.allocate(1, 1000)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=50),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_order_and_invariants(sizes, rnd):
+    """Random completion order always yields in-order delivery."""
+    buf = ResponseBuffer(1 << 20, delivery_batch=64)
+    live = []
+    for request_id, size in enumerate(sizes):
+        response = buf.allocate(request_id, size)
+        assert response is not None
+        live.append(response)
+    rnd.shuffle(live)
+    delivered = []
+    for response in live:
+        response.complete()
+        buf.harvest()
+        buf.check_invariants()
+        batch = buf.take_delivery()
+        delivered.extend(batch)
+        buf.mark_delivered(batch)
+    buf.harvest()
+    final = buf.take_delivery(force=True)
+    delivered.extend(final)
+    buf.mark_delivered(final)
+    assert [r.request_id for r in delivered] == list(range(len(sizes)))
+    assert buf.tail_completed == buf.tail_buffered == buf.tail_allocated

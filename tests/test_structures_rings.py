@@ -1,0 +1,265 @@
+"""Tests for the three ring-buffer designs (§4.1), incl. threaded stress."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import FarmRing, LockRing, ProgressRing
+
+
+class TestProgressRingBasics:
+    def test_single_message_roundtrip(self):
+        ring = ProgressRing(1024)
+        assert ring.try_enqueue(b"hello")
+        assert ring.try_consume() == [b"hello"]
+
+    def test_consume_empty_returns_none(self):
+        assert ProgressRing(1024).try_consume() is None
+
+    def test_batch_consumed_in_insertion_order(self):
+        ring = ProgressRing(4096)
+        payloads = [f"msg-{i}".encode() for i in range(10)]
+        for p in payloads:
+            assert ring.try_enqueue(p)
+        assert ring.try_consume() == payloads
+
+    def test_max_progress_limits_outstanding_bytes(self):
+        # Each record is 4 (header) + 8 = 12 bytes; allow two of them.
+        ring = ProgressRing(1024, max_progress=24)
+        assert ring.try_enqueue(b"a" * 8)
+        assert ring.try_enqueue(b"b" * 8)
+        assert not ring.try_enqueue(b"c" * 8)  # RETRY
+        ring.try_consume()
+        assert ring.try_enqueue(b"c" * 8)
+
+    def test_oversized_record_rejected(self):
+        ring = ProgressRing(64, max_progress=16)
+        with pytest.raises(ValueError):
+            ring.try_enqueue(b"x" * 100)
+
+    def test_wraparound_preserves_data(self):
+        ring = ProgressRing(64)
+        blob = bytes(range(48))
+        for _round in range(10):
+            assert ring.try_enqueue(blob)
+            assert ring.try_consume() == [blob]
+
+    def test_empty_payload_roundtrip(self):
+        ring = ProgressRing(256)
+        assert ring.try_enqueue(b"")
+        assert ring.try_consume() == [b""]
+
+    def test_pointer_invariant_head_le_progress_le_tail(self):
+        ring = ProgressRing(4096)
+        for i in range(5):
+            ring.try_enqueue(bytes(i))
+            head, progress, tail = ring.pointers
+            assert head <= progress <= tail
+        ring.try_consume()
+        head, progress, tail = ring.pointers
+        assert head == progress == tail
+
+    def test_pending_bytes_tracks_occupancy(self):
+        ring = ProgressRing(1024)
+        ring.try_enqueue(b"12345678")  # 12 bytes framed
+        assert ring.pending_bytes == 12
+        ring.try_consume()
+        assert ring.pending_bytes == 0
+
+
+class TestProgressRingThreaded:
+    @pytest.mark.parametrize("producers", [1, 4, 16])
+    def test_concurrent_producers_no_loss_no_duplication(self, producers):
+        ring = ProgressRing(1 << 16, max_progress=1 << 14)
+        per_producer = 500
+        total = per_producer * producers
+        received = []
+        stop = threading.Event()
+
+        def produce(worker):
+            for i in range(per_producer):
+                payload = f"{worker}:{i}".encode()
+                while not ring.try_enqueue(payload):
+                    pass
+
+        def consume():
+            while len(received) < total and not stop.is_set():
+                batch = ring.try_consume()
+                if batch:
+                    received.extend(batch)
+
+        threads = [
+            threading.Thread(target=produce, args=(w,))
+            for w in range(producers)
+        ]
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        consumer.join(timeout=30)
+        stop.set()
+        assert sorted(received) == sorted(
+            f"{w}:{i}".encode()
+            for w in range(producers)
+            for i in range(per_producer)
+        )
+
+    def test_per_producer_fifo_order(self):
+        ring = ProgressRing(1 << 16)
+        received = []
+
+        def produce(worker):
+            for i in range(300):
+                while not ring.try_enqueue(f"{worker}:{i}".encode()):
+                    pass
+
+        threads = [
+            threading.Thread(target=produce, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        while any(t.is_alive() for t in threads) or ring.pending_bytes:
+            batch = ring.try_consume()
+            if batch:
+                received.extend(batch)
+        for t in threads:
+            t.join()
+        # Within each producer, messages must appear in issue order.
+        for worker in range(4):
+            seq = [
+                int(m.split(b":")[1])
+                for m in received
+                if m.startswith(f"{worker}:".encode())
+            ]
+            assert seq == sorted(seq) and len(seq) == 300
+
+
+class TestFarmRing:
+    def test_roundtrip_one_at_a_time(self):
+        ring = FarmRing(slots=8)
+        assert ring.try_enqueue(b"one")
+        assert ring.try_enqueue(b"two")
+        assert ring.try_consume() == b"one"
+        assert ring.try_consume() == b"two"
+        assert ring.try_consume() is None
+
+    def test_full_ring_rejects(self):
+        ring = FarmRing(slots=2)
+        assert ring.try_enqueue(b"a")
+        assert ring.try_enqueue(b"b")
+        assert not ring.try_enqueue(b"c")
+        assert ring.try_consume() == b"a"
+        assert ring.try_enqueue(b"c")
+
+    def test_oversized_payload_rejected(self):
+        ring = FarmRing(slots=2, slot_size=16)
+        with pytest.raises(ValueError):
+            ring.try_enqueue(b"x" * 32)
+
+    def test_threaded_no_loss(self):
+        ring = FarmRing(slots=64)
+        total = 4 * 400
+        received = []
+
+        def produce(worker):
+            for i in range(400):
+                while not ring.try_enqueue(f"{worker}:{i}".encode()):
+                    pass
+
+        threads = [
+            threading.Thread(target=produce, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        while len(received) < total:
+            message = ring.try_consume()
+            if message is not None:
+                received.append(message)
+        for t in threads:
+            t.join()
+        assert len(set(received)) == total
+
+
+class TestLockRing:
+    def test_roundtrip_batch(self):
+        ring = LockRing(1024)
+        for i in range(5):
+            assert ring.try_enqueue(f"m{i}".encode())
+        assert ring.try_consume() == [f"m{i}".encode() for i in range(5)]
+
+    def test_full_rejects(self):
+        ring = LockRing(32)
+        assert ring.try_enqueue(b"x" * 20)  # 24 bytes framed
+        assert not ring.try_enqueue(b"y" * 20)
+
+    def test_threaded_no_loss(self):
+        ring = LockRing(1 << 14)
+        total = 4 * 400
+        received = []
+
+        def produce(worker):
+            for i in range(400):
+                while not ring.try_enqueue(f"{worker}:{i}".encode()):
+                    pass
+
+        threads = [
+            threading.Thread(target=produce, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        while len(received) < total:
+            batch = ring.try_consume()
+            if batch:
+                received.extend(batch)
+        for t in threads:
+            t.join()
+        assert len(set(received)) == total
+
+
+class TestRingProperties:
+    @given(
+        st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=60)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_progress_ring_is_a_fifo(self, payloads):
+        ring = ProgressRing(1 << 13)
+        consumed = []
+        for payload in payloads:
+            if not ring.try_enqueue(payload):
+                batch = ring.try_consume()
+                if batch:
+                    consumed.extend(batch)
+                assert ring.try_enqueue(payload)
+        batch = ring.try_consume()
+        if batch:
+            consumed.extend(batch)
+        assert consumed == payloads
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.binary(max_size=24)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_progress_and_lock_rings_agree(self, ops):
+        progress, lock = ProgressRing(1 << 12), LockRing(1 << 12)
+        out_progress, out_lock = [], []
+        for is_consume, payload in ops:
+            if is_consume:
+                batch = progress.try_consume()
+                if batch:
+                    out_progress.extend(batch)
+                batch = lock.try_consume()
+                if batch:
+                    out_lock.extend(batch)
+            else:
+                assert progress.try_enqueue(payload) == lock.try_enqueue(
+                    payload
+                )
+        assert out_progress == out_lock
