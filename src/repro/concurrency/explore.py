@@ -1,0 +1,318 @@
+"""Schedule exploration: seeded-random sweeps and bounded exhaustive DFS.
+
+A :class:`Scenario` is a factory that builds a *fresh* structure plus its
+logical threads for every schedule, so each explored interleaving starts
+from identical state.  Two exploration strategies:
+
+* :func:`explore_random` — N schedules driven by
+  ``RandomStrategy(base_seed + i)``.  On a violation it raises
+  :class:`ExplorationFailure` whose message contains the exact seed;
+  :func:`replay_seed` reruns that single schedule deterministically.
+* :func:`explore_bounded` / :class:`BoundedExplorer` — stateless DFS over
+  scheduler choices in the style of CHESS: at every decision point of an
+  executed schedule, each not-taken runnable task becomes a new schedule
+  prefix to explore.  Two prunings keep the tree tractable:
+
+  - **preemption bound** (default 3): a schedule may switch away from a
+    still-runnable task at most ``preemption_bound`` times.  Most real
+    concurrency bugs need very few preemptions (CHESS's empirical result),
+    so a small bound finds them while cutting the space from exponential
+    to polynomial.
+  - **DPOR-lite**: a branch that would merely swap two *adjacent
+    independent* accesses (different non-None location keys from
+    ``yield_point``) is skipped, because the swapped order is reachable by
+    branching one step later and is behaviourally identical.  The keys
+    are structure-supplied approximations, so this is a heuristic
+    reduction — the random sweep backstops it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+
+from .scheduler import (
+    InterleavingScheduler,
+    RandomStrategy,
+    ReplayStrategy,
+    SchedulerError,
+    StepRecord,
+)
+
+__all__ = [
+    "BoundedExplorer",
+    "ExplorationFailure",
+    "ExplorationStats",
+    "Scenario",
+    "explore_bounded",
+    "explore_random",
+    "replay_seed",
+]
+
+#: What Scenario.build returns: ([(name, callable_or_generator), ...],
+#: on_step or None, on_done or None).
+ScenarioRun = Tuple[
+    List[Tuple[str, Any]],
+    Optional[Callable[[StepRecord], None]],
+    Optional[Callable[[], None]],
+]
+
+
+class Scenario:
+    """A reproducible concurrency scenario.
+
+    ``build()`` is invoked once per schedule and must return fresh state:
+    ``(tasks, on_step, on_done)`` where ``tasks`` is a list of
+    ``(name, body)`` pairs (``body`` a zero-arg callable for a gated
+    thread, or a generator for a coarse-grained task), ``on_step`` an
+    invariant checker run after every step with all tasks suspended, and
+    ``on_done`` a final checker run when the schedule completes.  Either
+    checker may be None; both signal violations by raising.
+    """
+
+    def __init__(self, name: str, build: Callable[[], ScenarioRun]) -> None:
+        self.name = name
+        self.build = build
+
+    def _make_scheduler(self, strategy: Any, step_limit: int) -> Tuple[
+        InterleavingScheduler,
+        Optional[Callable[[StepRecord], None]],
+        Optional[Callable[[], None]],
+    ]:
+        tasks, on_step, on_done = self.build()
+        scheduler = InterleavingScheduler(strategy, step_limit=step_limit)
+        for name, body in tasks:
+            if hasattr(body, "__next__"):
+                scheduler.spawn_generator(body, name)
+            else:
+                scheduler.spawn(body, name)
+        return scheduler, on_step, on_done
+
+    def run_once(self, strategy: Any, step_limit: int = 20000) -> List[StepRecord]:
+        """Run a single schedule under ``strategy``; returns the trace."""
+        scheduler, on_step, on_done = self._make_scheduler(strategy, step_limit)
+        trace = scheduler.run(on_step=on_step)
+        if on_done is not None:
+            try:
+                on_done()
+            except Exception as exc:
+                # Keep the schedule on the exception so failure reports
+                # can show the interleaving that led to the end state.
+                if not hasattr(exc, "trace"):
+                    exc.trace = trace
+                raise
+        return trace
+
+
+class ExplorationFailure(AssertionError):
+    """An invariant violation (or crash) found on a specific schedule.
+
+    Inherits AssertionError so pytest renders it as a test failure.  The
+    ``replay`` attribute is everything needed to reproduce: a
+    ``("seed", n)`` pair for random exploration or ``("prefix", [...])``
+    for bounded exploration.
+    """
+
+    def __init__(
+        self,
+        scenario: str,
+        replay: Tuple[str, Any],
+        trace: List[StepRecord],
+        cause: BaseException,
+    ) -> None:
+        self.scenario = scenario
+        self.replay = replay
+        self.trace = trace
+        self.cause = cause
+        kind, value = replay
+        if kind == "seed":
+            how = (
+                f"replay_seed(scenario, {value}) or "
+                f"RandomStrategy(seed={value})"
+            )
+        else:
+            how = f"ReplayStrategy({value!r})"
+        steps = " -> ".join(
+            f"{name}@{label}" for (_i, name, label, _k) in trace[-12:]
+        )
+        super().__init__(
+            f"scenario {scenario!r} violated an invariant "
+            f"[{kind}={value}]: {type(cause).__name__}: {cause}\n"
+            f"  replay with: {how}\n"
+            f"  last steps: ...{steps}"
+        )
+
+
+@dataclass
+class ExplorationStats:
+    """What an exploration run covered."""
+
+    schedules: int = 0
+    steps: int = 0
+    pruned_preemption: int = 0
+    pruned_dpor: int = 0
+    frontier_exhausted: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.schedules} schedules / {self.steps} steps "
+            f"(pruned: {self.pruned_preemption} preemption, "
+            f"{self.pruned_dpor} dpor; "
+            f"exhausted={self.frontier_exhausted})"
+        )
+
+
+# ----------------------------------------------------------------------
+# seeded-random exploration
+# ----------------------------------------------------------------------
+def explore_random(
+    scenario: Scenario,
+    schedules: int = 1000,
+    base_seed: int = 0,
+    step_limit: int = 20000,
+) -> ExplorationStats:
+    """Run ``schedules`` random interleavings; raise on the first violation."""
+    stats = ExplorationStats()
+    for i in range(schedules):
+        seed = base_seed + i
+        try:
+            trace = scenario.run_once(RandomStrategy(seed), step_limit)
+        except (AssertionError, SchedulerError) as exc:
+            trace = getattr(exc, "trace", [])
+            raise ExplorationFailure(
+                scenario.name, ("seed", seed), trace, exc
+            ) from exc
+        stats.schedules += 1
+        stats.steps += len(trace)
+    return stats
+
+
+def replay_seed(
+    scenario: Scenario, seed: int, step_limit: int = 20000
+) -> List[StepRecord]:
+    """Re-run the single schedule that ``RandomStrategy(seed)`` produces."""
+    return scenario.run_once(RandomStrategy(seed), step_limit)
+
+
+# ----------------------------------------------------------------------
+# exhaustive-bounded exploration
+# ----------------------------------------------------------------------
+#: Per-decision record: (runnable task info, chosen index).  Runnable info
+#: is a tuple of (index, parked_label, parked_key) for each runnable task.
+_Decision = Tuple[Tuple[Tuple[int, str, Hashable], ...], int]
+
+
+class _RecordingReplay(ReplayStrategy):
+    """ReplayStrategy that records runnable sets + choices for branching."""
+
+    def __init__(self, choices: Sequence[int]) -> None:
+        super().__init__(choices)
+        self.decisions: List[_Decision] = []
+
+    def choose(self, runnable, trace):
+        task = super().choose(runnable, trace)
+        info = tuple(
+            (t.index, t.parked_label, t.parked_key)
+            for t in sorted(runnable, key=lambda t: t.index)
+        )
+        self.decisions.append((info, task.index))
+        return task
+
+
+def _preemptions(decisions: Sequence[_Decision], upto: int, alt: int) -> int:
+    """Preemptions in decisions[:upto] + [alt at point upto]."""
+    count = 0
+    prev: Optional[int] = None
+    for i in range(upto):
+        runnable, chosen = decisions[i]
+        if prev is not None and chosen != prev and any(
+            idx == prev for idx, _l, _k in runnable
+        ):
+            count += 1
+        prev = chosen
+    if prev is not None and alt != prev and any(
+        idx == prev for idx, _l, _k in decisions[upto][0]
+    ):
+        count += 1
+    return count
+
+
+def _independent(key_a: Hashable, key_b: Hashable) -> bool:
+    """Accesses commute when they touch different known locations."""
+    return key_a is not None and key_b is not None and key_a != key_b
+
+
+class BoundedExplorer:
+    """Stateless DFS over scheduler choices with bounded preemptions."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        preemption_bound: int = 3,
+        max_schedules: int = 2000,
+        step_limit: int = 20000,
+        use_dpor: bool = True,
+    ) -> None:
+        self.scenario = scenario
+        self.preemption_bound = preemption_bound
+        self.max_schedules = max_schedules
+        self.step_limit = step_limit
+        self.use_dpor = use_dpor
+
+    def explore(self) -> ExplorationStats:
+        stats = ExplorationStats()
+        frontier: List[List[int]] = [[]]
+        while frontier and stats.schedules < self.max_schedules:
+            prefix = frontier.pop()
+            strategy = _RecordingReplay(prefix)
+            try:
+                trace = self.scenario.run_once(strategy, self.step_limit)
+            except (AssertionError, SchedulerError) as exc:
+                taken = [chosen for _r, chosen in strategy.decisions]
+                trace = getattr(exc, "trace", [])
+                raise ExplorationFailure(
+                    self.scenario.name, ("prefix", taken), trace, exc
+                ) from exc
+            stats.schedules += 1
+            stats.steps += len(trace)
+            decisions = strategy.decisions
+            taken = [chosen for _r, chosen in decisions]
+            # Branch in the free extension region (>= len(prefix)); earlier
+            # alternatives were enqueued by the runs that discovered them.
+            for point in range(len(prefix), len(decisions)):
+                runnable, chosen = decisions[point]
+                chosen_key = next(
+                    (k for idx, _l, k in runnable if idx == chosen), None
+                )
+                for idx, _label, key in runnable:
+                    if idx == chosen:
+                        continue
+                    if (
+                        _preemptions(decisions, point, idx)
+                        > self.preemption_bound
+                    ):
+                        stats.pruned_preemption += 1
+                        continue
+                    if self.use_dpor and _independent(chosen_key, key):
+                        # Swapping two adjacent independent accesses yields
+                        # an equivalent schedule reachable one point later.
+                        stats.pruned_dpor += 1
+                        continue
+                    frontier.append(taken[:point] + [idx])
+        stats.frontier_exhausted = not frontier
+        return stats
+
+
+def explore_bounded(
+    scenario: Scenario,
+    preemption_bound: int = 3,
+    max_schedules: int = 2000,
+    step_limit: int = 20000,
+) -> ExplorationStats:
+    """Exhaustive-bounded DFS; raises ExplorationFailure on a violation."""
+    return BoundedExplorer(
+        scenario,
+        preemption_bound=preemption_bound,
+        max_schedules=max_schedules,
+        step_limit=step_limit,
+    ).explore()

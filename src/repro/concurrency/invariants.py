@@ -1,0 +1,207 @@
+"""Runtime-checkable invariants for the DDS concurrent structures.
+
+Each checker pairs with one structure and exposes ``check()`` — run after
+every scheduler step, while all logical threads are suspended — plus
+``finish()`` for end-of-schedule properties.  Tasks report *intent* to
+the checker (e.g. a payload about to be enqueued) so the checker can
+distinguish "not yet written" from "lost".
+
+These are deliberately written against the structures' public surface
+plus a few read-only peeks at private fields; they must never mutate the
+structure under test (cuckoo lookups do bump read-side stats counters,
+which the fixed table makes safe from any thread).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.structures.cuckoo import CuckooCacheTable
+from repro.structures.response import ResponseBuffer
+from repro.structures.rings import FarmRing, ProgressRing
+
+__all__ = [
+    "CuckooVisibilityChecker",
+    "FarmRingChecker",
+    "ProgressRingChecker",
+    "ResponseBufferChecker",
+]
+
+
+class ProgressRingChecker:
+    """§4.1 invariants: head <= progress <= tail, batches parse cleanly.
+
+    * pointer ordering and the max-progress bound hold at every step;
+    * pointers are monotone;
+    * every consumed record is byte-identical to a record some producer
+      set out to enqueue (no torn/partial records are ever returned);
+    * at the end, consumed records == successfully enqueued records.
+    """
+
+    def __init__(self, ring: ProgressRing) -> None:
+        self.ring = ring
+        self.intended: Counter = Counter()
+        self.enqueued: List[bytes] = []
+        self.consumed: List[bytes] = []
+        self._last = (0, 0, 0)
+
+    # -- task-side reporting ------------------------------------------
+    def note_intent(self, payload: bytes) -> None:
+        """Producer is about to attempt try_enqueue(payload)."""
+        self.intended[payload] += 1
+
+    def note_enqueued(self, payload: bytes) -> None:
+        self.enqueued.append(payload)
+
+    def note_consumed(self, batch: List[bytes]) -> None:
+        self.consumed.extend(batch)
+
+    # -- invariant checks ---------------------------------------------
+    def check(self, _record: Any = None) -> None:
+        head, progress, tail = self.ring.pointers
+        assert head <= progress <= tail, (
+            f"pointer order violated: head={head} progress={progress} "
+            f"tail={tail}"
+        )
+        assert tail - head <= self.ring.max_progress, (
+            f"max_progress exceeded: tail-head={tail - head} > "
+            f"{self.ring.max_progress}"
+        )
+        last = self._last
+        assert (head, progress, tail) >= last, (
+            f"pointer went backwards: {last} -> {(head, progress, tail)}"
+        )
+        self._last = (head, progress, tail)
+        for payload in self.consumed:
+            assert self.intended[payload] > 0, (
+                f"consumed a record nobody enqueued (torn?): {payload!r}"
+            )
+
+    def finish(self) -> None:
+        self.check()
+        assert Counter(self.consumed) == Counter(self.enqueued), (
+            "consumed records != enqueued records: "
+            f"{Counter(self.consumed) - Counter(self.enqueued)} extra, "
+            f"{Counter(self.enqueued) - Counter(self.consumed)} missing"
+        )
+
+
+class FarmRingChecker:
+    """FaRM-ring invariants: slots are reused only after release."""
+
+    def __init__(self, ring: FarmRing) -> None:
+        self.ring = ring
+        self.intended: Counter = Counter()
+        self.enqueued: List[bytes] = []
+        self.consumed: List[bytes] = []
+
+    def note_intent(self, payload: bytes) -> None:
+        self.intended[payload] += 1
+
+    def note_enqueued(self, payload: bytes) -> None:
+        self.enqueued.append(payload)
+
+    def note_consumed(self, payload: Optional[bytes]) -> None:
+        if payload is not None:
+            self.consumed.append(payload)
+
+    def check(self, _record: Any = None) -> None:
+        ring = self.ring
+        outstanding = ring._tail.load() - ring._released.load()
+        assert 0 <= outstanding <= ring.slots, (
+            f"slot accounting violated: tail-released={outstanding} "
+            f"not in [0, {ring.slots}]"
+        )
+        flags = [flag.load() for flag in ring._flags]
+        assert all(value in (0, 1) for value in flags), f"bad flag: {flags}"
+        # Completed-but-unconsumed slots can never exceed reserved ones.
+        assert sum(flags) <= outstanding, (
+            f"{sum(flags)} completed slots > {outstanding} reserved — "
+            "a slot was reused before release"
+        )
+        for payload in self.consumed:
+            assert self.intended[payload] > 0, (
+                f"consumed a payload nobody enqueued: {payload!r}"
+            )
+
+    def finish(self) -> None:
+        self.check()
+        assert Counter(self.consumed) == Counter(self.enqueued), (
+            "messages lost or duplicated: consumed != enqueued"
+        )
+
+
+class ResponseBufferChecker:
+    """§4.3 invariants: TailC <= TailB <= TailA, monotone, capacity-bounded."""
+
+    def __init__(self, buffer: ResponseBuffer) -> None:
+        self.buffer = buffer
+        self._last = (0, 0, 0)
+
+    def check(self, _record: Any = None) -> None:
+        buffer = self.buffer
+        buffer.check_invariants()
+        tails = (
+            buffer.tail_completed,
+            buffer.tail_buffered,
+            buffer.tail_allocated,
+        )
+        assert tails >= self._last, (
+            f"a tail pointer went backwards: {self._last} -> {tails}"
+        )
+        self._last = tails
+        # Spans still queued for DMA can never exceed the TailB-TailC gap
+        # (the gap also covers batches taken but not yet marked delivered).
+        queued = sum(r.size for r in buffer._buffered)
+        assert queued <= buffer.deliverable_bytes, (
+            f"buffered spans ({queued}B) exceed TailB-TailC gap "
+            f"({buffer.deliverable_bytes}B)"
+        )
+
+    def finish(self) -> None:
+        self.check()
+
+
+class CuckooVisibilityChecker:
+    """Table 2's reader guarantee, checked at every schedule point.
+
+    A key that was inserted (insert() returned) and not deleted
+    (delete() not yet called) must be visible to a lock-free reader at
+    *every* schedule point, including mid-displacement.  The writer task
+    maintains ``expected`` around its calls:
+
+    * after ``insert(k, v)`` returns True -> ``note_inserted(k, v)``;
+    * before calling ``delete(k)``       -> ``note_deleting(k)``.
+    """
+
+    def __init__(self, table: CuckooCacheTable) -> None:
+        self.table = table
+        self.expected: Dict[Hashable, Any] = {}
+
+    def note_inserted(self, key: Hashable, value: Any) -> None:
+        self.expected[key] = value
+
+    def note_deleting(self, key: Hashable) -> None:
+        self.expected.pop(key, None)
+
+    def check(self, _record: Any = None) -> None:
+        for key, value in self.expected.items():
+            found = self.table.lookup(key, default=_MISSING)
+            assert found is not _MISSING, (
+                f"reader missed key {key!r}: inserted and not deleted, "
+                "but invisible at this schedule point"
+            )
+            assert found == value, (
+                f"reader saw stale value for {key!r}: {found!r} != {value!r}"
+            )
+
+    def finish(self) -> None:
+        self.check()
+        assert len(self.table) == len(self.expected), (
+            f"table count {len(self.table)} != expected "
+            f"{len(self.expected)}"
+        )
+
+
+_MISSING = object()

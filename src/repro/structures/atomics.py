@@ -7,11 +7,19 @@ confined to the single read-modify-write step.  The algorithms built on
 top remain lock-free in the paper's sense: no lock is ever held across a
 message insertion or consumption, so a stalled thread cannot block others
 for longer than one pointer update.
+
+Every operation announces itself to the deterministic interleaving
+harness via :func:`repro.concurrency.hooks.yield_point` *before* taking
+the internal mutex — the yield is the schedule point, the mutex-guarded
+body is the indivisible linearization step.  In production no scheduler
+is installed and the hook is one global read.
 """
 
 from __future__ import annotations
 
 import threading
+
+from repro.concurrency.hooks import yield_point
 
 __all__ = ["AtomicCounter"]
 
@@ -19,24 +27,28 @@ __all__ = ["AtomicCounter"]
 class AtomicCounter:
     """A 64-bit-style atomic integer with load / CAS / fetch-add."""
 
-    __slots__ = ("_value", "_lock")
+    __slots__ = ("_value", "_lock", "_key")
 
     def __init__(self, initial: int = 0) -> None:
         self._value = initial
         self._lock = threading.Lock()
+        self._key = ("atomic", id(self))
 
     def load(self) -> int:
         """Atomic read of the current value."""
+        yield_point("atomic.load", self._key)
         with self._lock:
             return self._value
 
     def store(self, value: int) -> None:
         """Atomic write (single-writer pointers, e.g. the ring head)."""
+        yield_point("atomic.store", self._key)
         with self._lock:
             self._value = value
 
     def compare_and_swap(self, expected: int, new: int) -> bool:
         """Set to ``new`` iff currently ``expected``; True on success."""
+        yield_point("atomic.cas", self._key)
         with self._lock:
             if self._value != expected:
                 return False
@@ -45,6 +57,7 @@ class AtomicCounter:
 
     def fetch_add(self, delta: int) -> int:
         """Atomically add ``delta``; returns the *previous* value."""
+        yield_point("atomic.fetch_add", self._key)
         with self._lock:
             old = self._value
             self._value = old + delta

@@ -12,16 +12,38 @@ table never resizes at runtime.
 Concurrency model (Table 2): a single writer (the file service executing
 ``Cache``/``Invalidate``) and multiple readers (traffic director and
 offload engine executing ``OffPred``/``OffFunc``).  Writes take the
-writer lock; reads are lock-free.  Cuckoo displacement inserts the moved
-item into its alternate bucket *before* removing the original, so a
-concurrent reader never observes the key missing.
+writer lock; reads are lock-free.  The reader guarantee is: **a key that
+has been inserted and not deleted is visible to every lookup**, at every
+instant.  Three mechanisms uphold it:
+
+* Cuckoo displacement precomputes the whole displacement path, then
+  executes the moves *backwards* — each displaced item is appended to
+  its destination bucket before its source slot is overwritten (the
+  MemC3/libcuckoo discipline).  A reader may transiently see a key in
+  both buckets, which lookup tolerates; it can never see it in neither.
+  (The original forward walk parked the carried victim outside the table
+  for a full kick iteration; the deterministic interleaving harness in
+  :mod:`repro.concurrency` reproduces that reader-miss from a seed.)
+* Deletion replaces the bucket list wholesale (copy-on-write) instead of
+  ``del bucket[i]``, which would shift entries under a concurrent
+  reader's iterator and make it skip an unrelated key.
+* Read-side stats are accumulated locally per call and published with
+  :class:`~repro.structures.atomics.AtomicCounter` adds, so concurrent
+  readers don't corrupt them (see :class:`CacheTableStats` for the
+  exact-vs-approximate contract).
+
+All shared-state accesses pass a ``yield_point`` schedule hook (no-op in
+production) so the interleaving harness can context-switch there.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator, List, Optional, Tuple
+
+from repro.concurrency.hooks import yield_point
+
+from .atomics import AtomicCounter
 
 __all__ = ["CacheTableStats", "CuckooCacheTable"]
 
@@ -29,22 +51,79 @@ _SALT1 = 0x9E3779B97F4A7C15
 _SALT2 = 0xC2B2AE3D27D4EB4F
 
 
-@dataclass
 class CacheTableStats:
-    """Operation counters for one cache table."""
+    """Operation counters for one cache table.
 
-    inserts: int = 0
-    lookups: int = 0
-    hits: int = 0
-    deletes: int = 0
-    displacements: int = 0
-    chained_inserts: int = 0
-    rejected_full: int = 0
-    probe_entries: int = field(default=0, repr=False)
+    Exactness contract:
+
+    * **Writer-side counters are exact** — ``inserts``, ``deletes``,
+      ``displacements``, ``chained_inserts``, ``rejected_full`` are only
+      mutated under the writer lock.
+    * **Read-side counters are exact but published per call** —
+      ``lookups``, ``hits``, ``probe_entries`` are accumulated in locals
+      during a lookup and published at its end with atomic adds, so
+      concurrent readers never lose updates.  A reader mid-lookup has not
+      published yet, so a snapshot taken *during* concurrent reads can
+      trail reality by up to one lookup per in-flight reader; ratios like
+      :attr:`hit_rate` are therefore momentarily approximate, and exact
+      once readers quiesce.
+    """
+
+    __slots__ = (
+        "inserts",
+        "deletes",
+        "displacements",
+        "chained_inserts",
+        "rejected_full",
+        "_lookups",
+        "_hits",
+        "_probe_entries",
+    )
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.deletes = 0
+        self.displacements = 0
+        self.chained_inserts = 0
+        self.rejected_full = 0
+        self._lookups = AtomicCounter(0)
+        self._hits = AtomicCounter(0)
+        self._probe_entries = AtomicCounter(0)
+
+    # -- read-side counters (atomic) -----------------------------------
+    @property
+    def lookups(self) -> int:
+        return self._lookups.load()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.load()
+
+    @property
+    def probe_entries(self) -> int:
+        return self._probe_entries.load()
+
+    def record_lookup(self, probes: int, hit: bool) -> None:
+        """Publish one lookup's locally-accumulated counters."""
+        self._lookups.fetch_add(1)
+        if probes:
+            self._probe_entries.fetch_add(probes)
+        if hit:
+            self._hits.fetch_add(1)
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheTableStats(inserts={self.inserts}, "
+            f"lookups={self.lookups}, hits={self.hits}, "
+            f"deletes={self.deletes}, displacements={self.displacements}, "
+            f"chained_inserts={self.chained_inserts}, "
+            f"rejected_full={self.rejected_full})"
+        )
 
 
 class CuckooCacheTable:
@@ -73,6 +152,7 @@ class CuckooCacheTable:
         self._count = 0
         self._writer_lock = threading.Lock()
         self.stats = CacheTableStats()
+        self._key = ("cuckoo", id(self))
 
     # ------------------------------------------------------------------
     # hashing
@@ -87,20 +167,35 @@ class CuckooCacheTable:
         one, two = self._index1(key), self._index2(key)
         return two if index == one else one
 
+    def _bucket_key(self, index: int) -> Tuple[str, int, int]:
+        """DPOR location key for one bucket's contents."""
+        return ("cuckoo.bucket", id(self), index)
+
     # ------------------------------------------------------------------
     # reads (lock-free)
     # ------------------------------------------------------------------
     def lookup(self, key: Hashable, default: Any = None) -> Any:
-        """Worst-case constant-time lookup: probes exactly two buckets."""
-        self.stats.lookups += 1
+        """Worst-case constant-time lookup: probes exactly two buckets.
+
+        Stats are accumulated locally and published once at the end, so
+        any number of concurrent readers keep the counters exact.
+        """
+        probes = 0
+        found = False
+        result = default
         for index in (self._index1(key), self._index2(key)):
+            yield_point("cuckoo.probe", self._bucket_key(index))
             bucket = self._buckets[index]
             for entry_key, entry_value in bucket:
-                self.stats.probe_entries += 1
+                probes += 1
                 if entry_key == key:
-                    self.stats.hits += 1
-                    return entry_value
-        return default
+                    found = True
+                    result = entry_value
+                    break
+            if found:
+                break
+        self.stats.record_lookup(probes, found)
+        return result
 
     def __contains__(self, key: Hashable) -> bool:
         sentinel = object()
@@ -124,6 +219,7 @@ class CuckooCacheTable:
     # ------------------------------------------------------------------
     def insert(self, key: Hashable, value: Any) -> bool:
         """Insert or update; False when the table is at declared capacity."""
+        yield_point("cuckoo.insert", self._key)
         with self._writer_lock:
             self.stats.inserts += 1
             if self._update_in_place(key, value):
@@ -136,14 +232,27 @@ class CuckooCacheTable:
             return True
 
     def delete(self, key: Hashable) -> bool:
-        """Remove ``key``; True if it was present."""
+        """Remove ``key``; True if it was present.
+
+        The bucket list is replaced wholesale rather than edited with
+        ``del``: a lock-free reader mid-iteration keeps its consistent
+        snapshot, instead of having entries shift underneath it (which
+        could make it skip — and "miss" — a key unrelated to the one
+        being deleted).
+        """
+        yield_point("cuckoo.delete", self._key)
         with self._writer_lock:
             self.stats.deletes += 1
             for index in (self._index1(key), self._index2(key)):
                 bucket = self._buckets[index]
                 for position, (entry_key, _val) in enumerate(bucket):
                     if entry_key == key:
-                        del bucket[position]
+                        yield_point(
+                            "cuckoo.bucket_replace", self._bucket_key(index)
+                        )
+                        self._buckets[index] = (
+                            bucket[:position] + bucket[position + 1 :]
+                        )
                         self._count -= 1
                         return True
             return False
@@ -156,46 +265,78 @@ class CuckooCacheTable:
             bucket = self._buckets[index]
             for position, (entry_key, _val) in enumerate(bucket):
                 if entry_key == key:
+                    # Single-slot tuple swap: atomic for readers.
+                    yield_point(
+                        "cuckoo.bucket_update", self._bucket_key(index)
+                    )
                     bucket[position] = (key, value)
                     return True
         return False
 
-    def _place(self, key: Hashable, value: Any) -> None:
-        """Standard cuckoo placement, falling back to chaining.
+    def _find_path(self, start: int) -> Optional[List[int]]:
+        """Walk victims from ``start`` to a bucket with nominal space.
 
-        Chaining (appending past the nominal slot count) bounds insert
-        latency when a displacement cycle is hit, at the cost of slightly
-        longer probes in that bucket — the trade §6.1 describes.
+        Read-only: returns the bucket index chain ``[start, ..., free]``
+        or None when no free bucket is reachable within ``max_kicks``
+        (or the walk revisits a bucket, which the backward-move executor
+        does not support).  Victims are always slot 0, matching the
+        eviction choice of the original forward walk.
+        """
+        path = [start]
+        seen = {start}
+        index = start
+        for _kick in range(self.max_kicks):
+            victim_key, _victim_value = self._buckets[index][0]
+            alternate = self._alternate(victim_key, index)
+            if alternate in seen:
+                return None
+            path.append(alternate)
+            if len(self._buckets[alternate]) < self.slots_per_bucket:
+                return path
+            seen.add(alternate)
+            index = alternate
+        return None
+
+    def _place(self, key: Hashable, value: Any) -> None:
+        """Cuckoo placement with lock-free-reader-safe move order.
+
+        The displacement path is precomputed (reads only), then executed
+        *backwards*: the item nearest the free slot moves first, and
+        every move appends to the destination bucket **before** erasing
+        the source slot.  Readers can transiently observe an item in two
+        buckets (benign — lookup returns the first match and both carry
+        the same value) but never in zero buckets.  Chaining (appending
+        past the nominal slot count) bounds insert latency when no path
+        exists, at the cost of slightly longer probes in that bucket —
+        the trade §6.1 describes.
         """
         index1, index2 = self._index1(key), self._index2(key)
         for index in (index1, index2):
             if len(self._buckets[index]) < self.slots_per_bucket:
+                yield_point("cuckoo.bucket_append", self._bucket_key(index))
                 self._buckets[index].append((key, value))
                 return
 
-        # Both buckets nominally full: displace residents along a cuckoo
-        # path for up to max_kicks moves.
-        index = index1
-        carried_key, carried_value = key, value
-        for _kick in range(self.max_kicks):
-            bucket = self._buckets[index]
-            victim_key, victim_value = bucket[0]
-            alternate = self._alternate(victim_key, index)
-            if len(self._buckets[alternate]) < self.slots_per_bucket:
-                # Move the victim (insert-then-remove so readers always
-                # find it), then take its slot for the carried item.
-                self._buckets[alternate].append((victim_key, victim_value))
-                bucket[0] = (carried_key, carried_value)
-                self.stats.displacements += 1
-                return
-            # Swap the carried item in and continue with the victim.
-            bucket[0] = (carried_key, carried_value)
-            carried_key, carried_value = victim_key, victim_value
-            index = alternate
-            self.stats.displacements += 1
+        path = self._find_path(index1)
+        if path is None:
+            # No displacement path: chain the *new* item in its first
+            # bucket.  Nothing is ever removed, so readers are unaffected.
+            yield_point("cuckoo.bucket_append", self._bucket_key(index1))
+            self._buckets[index1].append((key, value))
+            self.stats.chained_inserts += 1
+            return
 
-        # Displacement failed: chain the carried item in its first bucket.
-        self._buckets[self._index1(carried_key)].append(
-            (carried_key, carried_value)
-        )
-        self.stats.chained_inserts += 1
+        # Execute moves from the free end backwards.  For each hop
+        # src -> dst: copy src's slot-0 item into dst, then rebuild src
+        # without slot 0 (copy-on-write, like delete()).  After the final
+        # hop, path[0] has nominal space for the new key.
+        for hop in range(len(path) - 2, -1, -1):
+            src, dst = path[hop], path[hop + 1]
+            moved = self._buckets[src][0]
+            yield_point("cuckoo.bucket_append", self._bucket_key(dst))
+            self._buckets[dst].append(moved)
+            yield_point("cuckoo.bucket_replace", self._bucket_key(src))
+            self._buckets[src] = self._buckets[src][1:]
+            self.stats.displacements += 1
+        yield_point("cuckoo.bucket_append", self._bucket_key(index1))
+        self._buckets[index1].append((key, value))

@@ -14,6 +14,14 @@ three tails:
 
 ``TailC <= TailB <= TailA`` always holds.  A DMA write is issued when
 ``TailB - TailC`` reaches the configured delivery batch size.
+
+Pointer and queue mutations pass ``yield_point`` schedule hooks (no-ops
+in production) so the deterministic interleaving harness in
+:mod:`repro.concurrency` can interleave allocate / complete / harvest /
+deliver steps and check the tail ordering at every point.  Completion
+publishes the payload *before* the status flip: the status is the
+linearization point the harvester polls, so a span must never be
+harvestable while its payload is still unset.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from __future__ import annotations
 from collections import deque
 from enum import IntEnum
 from typing import Deque, List, Optional
+
+from repro.concurrency.hooks import yield_point
 
 __all__ = ["ResponseStatus", "PreallocatedResponse", "ResponseBuffer"]
 
@@ -57,8 +67,11 @@ class PreallocatedResponse:
             raise RuntimeError("response completed twice")
         if status is ResponseStatus.PENDING:
             raise ValueError("cannot complete a response as PENDING")
-        self.status = status
+        # Payload first, status last: the status flip is what makes the
+        # span harvestable, so it must publish a fully-written response.
         self.payload = payload
+        yield_point("resp.complete", ("resp.span", id(self)))
+        self.status = status
 
 
 class ResponseBuffer:
@@ -98,6 +111,7 @@ class ResponseBuffer:
         size = self.response_size(data_bytes)
         if size > self.capacity:
             raise ValueError("response exceeds buffer capacity")
+        yield_point("resp.alloc", ("resp", id(self), "tailA"))
         if self.tail_allocated + size - self.tail_completed > self.capacity:
             return None
         response = PreallocatedResponse(request_id, self.tail_allocated, size)
@@ -114,6 +128,7 @@ class ResponseBuffer:
         while self._pending and (
             self._pending[0].status is not ResponseStatus.PENDING
         ):
+            yield_point("resp.harvest", ("resp", id(self), "tailB"))
             response = self._pending.popleft()
             self.tail_buffered += response.size
             self._buffered.append(response)
@@ -141,6 +156,7 @@ class ResponseBuffer:
         """
         if not force and not self.should_deliver():
             return []
+        yield_point("resp.deliver", ("resp", id(self), "buffered"))
         batch = list(self._buffered)
         self._buffered.clear()
         return batch
@@ -150,6 +166,7 @@ class ResponseBuffer:
         for response in batch:
             if response.offset != self.tail_completed:
                 raise RuntimeError("responses delivered out of order")
+            yield_point("resp.mark", ("resp", id(self), "tailC"))
             self.tail_completed += response.size
 
     # ------------------------------------------------------------------

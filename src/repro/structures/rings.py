@@ -18,9 +18,13 @@ length prefix followed by the payload, mirroring the request encoding of
 Figure 9 where the header carries the request size.
 
 These are *real* thread-safe implementations, exercised by multi-threaded
-stress tests; the DMA timing model that turns operation counts into
-Figure 17's throughput/latency numbers lives in
-:mod:`repro.core.dma_ring`.
+stress tests **and** by the deterministic interleaving harness in
+:mod:`repro.concurrency`: every shared-state access goes through an
+:class:`~repro.structures.atomics.AtomicCounter` (which yields before its
+linearization step) or an explicit ``yield_point`` before a buffer/slot
+write, so the virtual scheduler can context-switch at each one.  The DMA
+timing model that turns operation counts into Figure 17's
+throughput/latency numbers lives in :mod:`repro.core.dma_ring`.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ from __future__ import annotations
 import struct
 import threading
 from typing import List, Optional
+
+from repro.concurrency.hooks import yield_point
 
 from .atomics import AtomicCounter
 
@@ -128,7 +134,11 @@ class ProgressRing(_ByteRing):
             if self._tail.compare_and_swap(tail, tail + size):
                 break
             # Another producer reserved first; re-check and retry the CAS.
+        # Each reservation owns a disjoint byte range, so the write key is
+        # per-offset: concurrent producers' copies commute.
+        yield_point("ring.write_header", ("ringbuf", id(self), tail))
         self._write_at(tail, RECORD_HEADER.pack(len(payload)))
+        yield_point("ring.write_payload", ("ringbuf", id(self), tail))
         self._write_at(tail + RECORD_HEADER.size, payload)
         self._progress.fetch_add(size)
         return True
@@ -149,6 +159,7 @@ class ProgressRing(_ByteRing):
         head = self._head.load()
         if progress != tail or tail == head:
             return None
+        yield_point("ring.read_batch", ("ringbuf", id(self), "read"))
         records = self._split_records(head, tail)
         self._head.store(tail)
         return records
@@ -200,6 +211,7 @@ class FarmRing:
             if self._tail.compare_and_swap(tail, tail + 1):
                 break
         slot = tail % self.slots
+        yield_point("farm.write_slot", ("farmslot", id(self), slot))
         self._payloads[slot] = payload
         self._flags[slot].store(1)
         return True
@@ -209,6 +221,7 @@ class FarmRing:
         slot = self._head % self.slots
         if self._flags[slot].load() != 1:
             return None
+        yield_point("farm.read_slot", ("farmslot", id(self), slot))
         payload = self._payloads[slot]
         self._payloads[slot] = None
         self._flags[slot].store(0)  # release: the per-message DMA write
@@ -231,6 +244,9 @@ class LockRing(_ByteRing):
         size = self.record_size(payload)
         if size > self.capacity:
             raise ValueError("record exceeds ring capacity")
+        # Schedule point *outside* the lock: the critical section has no
+        # yield points, so the virtual scheduler never parks a lock holder.
+        yield_point("lockring.enqueue", ("lockring", id(self)))
         with self._lock:
             if self._tail - self._head + size > self.capacity:
                 return False
@@ -241,6 +257,7 @@ class LockRing(_ByteRing):
 
     def try_consume(self) -> Optional[List[bytes]]:
         """Drain all queued records under the ring lock."""
+        yield_point("lockring.consume", ("lockring", id(self)))
         with self._lock:
             if self._tail == self._head:
                 return None

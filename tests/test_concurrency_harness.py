@@ -1,0 +1,221 @@
+"""Unit tests for the deterministic interleaving harness itself.
+
+The harness (``repro.concurrency``) is test infrastructure, so its own
+semantics — determinism, replay, preemption bounding, DPOR pruning,
+failure reporting, deadlock detection — get direct coverage here before
+the structure-level interleaving suites rely on them.
+"""
+
+import threading
+
+import pytest
+
+from repro.concurrency import (
+    BoundedExplorer,
+    DeadlockError,
+    ExplorationFailure,
+    InterleavingScheduler,
+    RandomStrategy,
+    ReplayStrategy,
+    Scenario,
+    TaskFailure,
+    explore_bounded,
+    explore_random,
+    replay_seed,
+)
+from repro.concurrency.hooks import yield_point
+from repro.structures import AtomicCounter
+
+
+def _shape(trace):
+    """Trace minus the id()-based location keys (fresh objects per run)."""
+    return [(index, name, label) for (index, name, label, _key) in trace]
+
+
+def _two_bumpers():
+    counter = AtomicCounter(0)
+
+    def bump():
+        for _ in range(3):
+            counter.fetch_add(1)
+
+    return ([("a", bump), ("b", bump)], None, lambda: None)
+
+
+def test_same_seed_same_schedule():
+    scenario = Scenario("bumpers", _two_bumpers)
+    first = scenario.run_once(RandomStrategy(1234))
+    second = scenario.run_once(RandomStrategy(1234))
+    assert _shape(first) == _shape(second)
+
+
+def test_different_seeds_explore_different_schedules():
+    scenario = Scenario("bumpers", _two_bumpers)
+    shapes = {tuple(_shape(scenario.run_once(RandomStrategy(s)))) for s in range(20)}
+    assert len(shapes) > 1
+
+
+def test_generator_tasks_interleave():
+    log = []
+
+    def build():
+        def gen(name):
+            for i in range(2):
+                log.append((name, i))
+                yield f"{name}-{i}"
+
+        return ([("g1", gen("g1")), ("g2", gen("g2"))], None, None)
+
+    trace = Scenario("gens", build).run_once(RandomStrategy(7))
+    assert sorted(log) == [("g1", 0), ("g1", 1), ("g2", 0), ("g2", 1)]
+    # Each generator contributes its steps plus a final StopIteration step.
+    assert len(trace) == 6
+
+
+def test_replay_strategy_follows_prefix():
+    scenario = Scenario("bumpers", _two_bumpers)
+    # Force task b (index 1) to take the first three steps.
+    trace = scenario.run_once(ReplayStrategy([1, 1, 1]))
+    assert [record[0] for record in trace[:3]] == [1, 1, 1]
+    # Default extension stays on b for its last step (start + 3 adds),
+    # then falls over to a once b finishes.
+    assert [record[0] for record in trace[3:5]] == [1, 0]
+
+
+def test_task_exception_becomes_task_failure():
+    def build():
+        counter = AtomicCounter(0)
+
+        def boom():
+            counter.fetch_add(1)
+            raise RuntimeError("kaboom")
+
+        return ([("boom", boom)], None, None)
+
+    with pytest.raises(TaskFailure) as excinfo:
+        Scenario("boom", build).run_once(RandomStrategy(0))
+    assert "kaboom" in str(excinfo.value)
+    assert excinfo.value.trace  # schedule retained for replay
+
+
+def test_deadlock_detection_for_lock_held_across_yield():
+    lock = threading.Lock()
+
+    def holder():
+        lock.acquire()
+        yield_point("holder.parked", None)
+        lock.release()
+
+    def blocker():
+        yield_point("blocker.start", None)
+        lock.acquire()
+        lock.release()
+
+    scheduler = InterleavingScheduler(
+        ReplayStrategy([0, 1, 1]), deadlock_timeout=0.2
+    )
+    scheduler.spawn(holder, "holder")
+    scheduler.spawn(blocker, "blocker")
+    with pytest.raises(DeadlockError):
+        scheduler.run()
+
+
+def test_explore_random_counts_schedules():
+    stats = explore_random(Scenario("bumpers", _two_bumpers), schedules=25)
+    assert stats.schedules == 25
+    assert stats.steps > 0
+
+
+def test_preemption_bound_zero_yields_two_schedules():
+    # Two tasks hammering the SAME counter (no DPOR independence): with
+    # zero preemptions allowed the only schedules are a-then-b, b-then-a.
+    stats = BoundedExplorer(
+        Scenario("bumpers", _two_bumpers), preemption_bound=0, use_dpor=False
+    ).explore()
+    assert stats.schedules == 2
+    assert stats.frontier_exhausted
+
+
+def test_preemption_bound_grows_schedule_count():
+    scenario = Scenario("bumpers", _two_bumpers)
+    bound0 = BoundedExplorer(scenario, preemption_bound=0, use_dpor=False).explore()
+    bound2 = BoundedExplorer(scenario, preemption_bound=2, use_dpor=False).explore()
+    assert bound2.schedules > bound0.schedules
+    assert bound0.pruned_preemption > 0
+
+
+def test_dpor_prunes_independent_counters():
+    def build():
+        first, second = AtomicCounter(0), AtomicCounter(0)
+
+        def bump_first():
+            for _ in range(2):
+                first.fetch_add(1)
+
+        def bump_second():
+            for _ in range(2):
+                second.fetch_add(1)
+
+        return ([("a", bump_first), ("b", bump_second)], None, None)
+
+    scenario = Scenario("independent", build)
+    with_dpor = BoundedExplorer(scenario, preemption_bound=2).explore()
+    without = BoundedExplorer(scenario, preemption_bound=2, use_dpor=False).explore()
+    assert with_dpor.pruned_dpor > 0
+    assert with_dpor.schedules < without.schedules
+
+
+def test_failure_carries_seed_and_replays():
+    """A racy read-modify-write is found by exploration and replayed."""
+
+    def build():
+        counter = AtomicCounter(0)
+
+        def unsafe_increment():
+            value = counter.load()  # schedule point between load and store
+            counter.store(value + 1)
+
+        def check_done():
+            assert counter.load() == 2, "lost update"
+
+        return (
+            [("inc1", unsafe_increment), ("inc2", unsafe_increment)],
+            None,
+            check_done,
+        )
+
+    scenario = Scenario("lost-update", build)
+    with pytest.raises(ExplorationFailure) as excinfo:
+        explore_random(scenario, schedules=200, base_seed=0)
+    kind, seed = excinfo.value.replay
+    assert kind == "seed"
+    # The printed seed replays to the same violation.
+    with pytest.raises(AssertionError):
+        replay_seed(scenario, seed)
+    # And the bounded explorer finds the same bug exhaustively.
+    with pytest.raises(ExplorationFailure):
+        explore_bounded(scenario, preemption_bound=2)
+
+
+def test_on_step_violation_aborts_run():
+    def build():
+        counter = AtomicCounter(0)
+
+        def bump():
+            for _ in range(4):
+                counter.fetch_add(1)
+
+        def never_above_two(_record):
+            assert counter.load() <= 2
+
+        return ([("bump", bump)], never_above_two, None)
+
+    with pytest.raises(TaskFailure):
+        Scenario("cap", build).run_once(RandomStrategy(0))
+
+
+def test_production_yield_point_is_noop():
+    # No scheduler installed: yield_point must do nothing, from any thread.
+    yield_point("anything", ("key", 1))
+    counter = AtomicCounter(5)
+    assert counter.load() == 5
