@@ -1,0 +1,145 @@
+"""Multi-DPU scale-out sweep: directed throughput vs. shard count.
+
+The capability the topology layer exists to prove: one host, N DPUs,
+the file namespace consistent-hash sharded across them, each traffic
+director steering foreign-shard requests to the owning DPU.  Directed
+read throughput must grow monotonically 1 → 2 → 4 shards, and each
+shard's director core must stay within Figure 21's per-Arm-core budget
+(one core directs ~6.4 Gbps ≈ 800K MTU-packet operations/s; our 1 KiB
+reads are one packet each way).
+"""
+
+import pytest
+
+from repro.core.client import ClientConfig, WorkloadClient
+from repro.core.messages import IoRequest, OpCode
+from repro.hardware.nic import NetworkLink
+from repro.sim import Environment
+from repro.storage.disk import RamDisk, SpdkBdev
+from repro.storage.filesystem import DdsFileSystem
+from repro.topology.sharding import ShardedOffloadServer
+
+IO_SIZE = 1024
+FILES = 32
+FILE_BYTES = 4 << 20
+#: Offered load far beyond any shard count's capacity, so every point
+#: measures capacity rather than arrival rate.
+OFFERED_IOPS = 4e6
+TOTAL_REQUESTS = 12_000
+
+
+def run_sharded(shard_count, total_requests=TOTAL_REQUESTS):
+    env = Environment()
+    disk = RamDisk(FILES * FILE_BYTES + (64 << 20))
+    fs = DdsFileSystem(env, SpdkBdev(env, disk))
+    fs.create_directory("bench")
+    file_ids = []
+    for index in range(FILES):
+        file_id = fs.create_file("bench", f"shard-file-{index}")
+        fs.preallocate(file_id, FILE_BYTES)
+        file_ids.append(file_id)
+    link = NetworkLink(env)
+    server = ShardedOffloadServer(env, link, fs, shard_count=shard_count)
+    config = ClientConfig(
+        offered_iops=OFFERED_IOPS,
+        total_requests=total_requests,
+        io_size=IO_SIZE,
+        batch=4,
+        connections=16,
+        max_outstanding=192,
+        file_size=FILE_BYTES,
+        seed=7,
+    )
+    slots = FILE_BYTES // IO_SIZE
+
+    def random_read(request_id, rng):
+        file_id = file_ids[rng.randrange(len(file_ids))]
+        offset = rng.randrange(slots) * IO_SIZE
+        return IoRequest(OpCode.READ, request_id, file_id, offset, IO_SIZE)
+
+    client = WorkloadClient(
+        env, server, file_ids[0], config, request_factory=random_read
+    )
+    result = client.run()
+    return server, result
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {n: run_sharded(n) for n in (1, 2, 4)}
+
+
+class TestScaleoutThroughput:
+    def test_directed_throughput_monotonic_1_2_4(self, sweep):
+        achieved = {n: r.achieved_iops for n, (_, r) in sweep.items()}
+        assert achieved[2] > achieved[1] * 1.3
+        assert achieved[4] > achieved[2] * 1.3
+
+    def test_single_shard_matches_arm_core_budget(self, sweep):
+        # Figure 21: one Arm core directs ~6.4 Gbps; at MTU-ish packets
+        # that bounds directed operations below ~1M/s, and the SSD caps
+        # a single shard near 800K IOPS — so one shard must land under
+        # 1M IOPS but still in the hundreds of thousands.
+        _, result = sweep[1]
+        assert 300e3 < result.achieved_iops < 1e6
+
+
+class TestScaleoutBehaviour:
+    def test_every_shard_serves_and_relays(self, sweep):
+        server, _ = sweep[4]
+        for shard in server.shards:
+            assert shard.director.requests_offloaded > 0
+        assert sum(s.director.requests_relayed for s in server.shards) > 0
+        assert sum(s.director.relayed_messages for s in server.shards) > 0
+
+    def test_relay_load_is_spread(self, sweep):
+        # Consistent hashing + ingress RSS: no shard should own a
+        # wildly outsized share of the executed requests.
+        server, result = sweep[4]
+        executed = [
+            s.director.requests_offloaded + s.director.requests_to_host
+            for s in server.shards
+        ]
+        assert sum(executed) == TOTAL_REQUESTS
+        assert max(executed) < TOTAL_REQUESTS * 0.6
+
+    def test_director_cores_within_budget(self, sweep):
+        for n, (server, result) in sweep.items():
+            for shard in server.shards:
+                for core in shard.cores:
+                    assert core.utilization(result.elapsed) <= 1.0 + 1e-9
+
+    def test_host_fallback_preserved_per_shard(self):
+        server, result = run_sharded_writes()
+        assert all(result.values())
+        shards_hit = [
+            s.index for s in server.shards if s.director.requests_to_host > 0
+        ]
+        assert len(shards_hit) >= 2  # writes landed on several shards
+
+
+def run_sharded_writes():
+    env = Environment()
+    disk = RamDisk(FILES * FILE_BYTES + (64 << 20))
+    fs = DdsFileSystem(env, SpdkBdev(env, disk))
+    fs.create_directory("bench")
+    file_ids = []
+    for index in range(FILES):
+        file_id = fs.create_file("bench", f"shard-file-{index}")
+        fs.preallocate(file_id, FILE_BYTES)
+        file_ids.append(file_id)
+    link = NetworkLink(env)
+    server = ShardedOffloadServer(env, link, fs, shard_count=4)
+    from repro.net.packet import FiveTuple
+
+    ok = {}
+    for index, file_id in enumerate(file_ids):
+        flow = FiveTuple("10.0.0.2", 40_000 + index, "10.0.0.1", 5000)
+        write = IoRequest(
+            OpCode.WRITE, index, file_id, 0, IO_SIZE, bytes(IO_SIZE)
+        )
+        responses = []
+        done = server.submit(flow, [write], responses.append)
+        env.run(until=done)
+        ok[index] = responses[0].ok
+    return server, ok

@@ -5,25 +5,19 @@ application running against locally-attached SSDs, either through the OS
 filesystem (Windows files, ①) or through the DDS front-end library with
 file execution offloaded to the DPU (DDS files, ②).  There is no network
 and no second machine; "client" CPU and server CPU are the same pool.
+
+Both are minimal :class:`~repro.core.server.PipelineServer` compositions:
+a single execution stage, no ingest/transport/completion stages at all.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List
-
-from ..core.messages import IoRequest, IoResponse, OpCode
-from ..core.server import StorageServerBase, _DdsHostSide
-from ..core.file_library import DdsFileLibrary
-from ..core.file_service import DpuFileService
-from ..hardware.cpu import CpuCore
+from ..core.server import PipelineServer
 from ..hardware.nic import NetworkLink
-from ..hardware.pcie import DmaEngine
-from ..hardware.specs import DPU_CPU, HOST_APP_OTHER, StackSpec
-from ..net.packet import FiveTuple
-from ..net.stack import StackLayer
+from ..hardware.specs import StackSpec
 from ..sim import Environment
 from ..storage.filesystem import DdsFileSystem
-from ..storage.osfs import OsFileSystem
+from ..topology.stages import DdsBackend, OsFileExecution
 
 __all__ = ["LocalOsServer", "LocalDdsServer", "NO_TRANSPORT"]
 
@@ -36,7 +30,7 @@ NO_TRANSPORT = StackSpec(
 )
 
 
-class LocalOsServer(StorageServerBase):
+class LocalOsServer(PipelineServer):
     """① Windows files on local SSDs: the non-disaggregated OS baseline."""
 
     client_spec = NO_TRANSPORT
@@ -48,44 +42,13 @@ class LocalOsServer(StorageServerBase):
         filesystem: DdsFileSystem,
     ) -> None:
         super().__init__(env, link)
-        self.app_other = StackLayer(env, HOST_APP_OTHER, self.host_pool)
-        self.osfs = OsFileSystem(env, filesystem, self.host_pool)
-
-    def host_cores(self, elapsed: float) -> float:
-        """Average host cores consumed over ``elapsed`` seconds."""
-        pool = self.host_pool.cores_consumed(elapsed)
-        return pool + self.osfs.serializer.utilization(elapsed)
-
-    def _ingress(
-        self,
-        flow: FiveTuple,
-        requests: List[IoRequest],
-        arrived: Callable,
-    ) -> Generator:
-        served = [self.env.process(self._serve(r)) for r in requests]
-        responses: List[IoResponse] = yield self.env.all_of(served)
-        for response in responses:
-            arrived(response)
-
-    def _serve(self, request: IoRequest) -> Generator:
-        yield from self.app_other.process(request.wire_size)
-        if request.op is OpCode.READ:
-            data = yield self.env.process(
-                self.osfs.read(request.file_id, request.offset, request.size)
-            )
-            response = IoResponse(request.request_id, True, data)
-        else:
-            yield self.env.process(
-                self.osfs.write(
-                    request.file_id, request.offset, request.payload
-                )
-            )
-            response = IoResponse(request.request_id, True)
-        self.requests_served += 1
-        return response
+        execution = OsFileExecution(env, filesystem, self.host_pool)
+        self._set_pipeline([execution], execution=execution)
+        self.app_other = execution.app_other
+        self.osfs = execution.osfs
 
 
-class LocalDdsServer(StorageServerBase):
+class LocalDdsServer(PipelineServer):
     """② DDS files on local SSDs: userspace front end, DPU execution.
 
     The paper notes this is a *stronger* local baseline than host-only
@@ -102,39 +65,13 @@ class LocalDdsServer(StorageServerBase):
         filesystem: DdsFileSystem,
     ) -> None:
         super().__init__(env, link)
-        self.dma = DmaEngine(env)
-        self.dma_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-dma")
-        self.spdk_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-spdk")
-        self.file_service = DpuFileService(
-            env, filesystem, self.dma_core, self.spdk_core
-        )
-        self.library = DdsFileLibrary(
-            env, self.host_pool, self.file_service, self.dma
-        )
-        self.host_side = _DdsHostSide(env, self.host_pool, self.library)
-        self.file_service.start()
-
-    def host_cores(self, elapsed: float) -> float:
-        """Average host cores consumed over ``elapsed`` seconds."""
-        pool = self.host_pool.cores_consumed(elapsed)
-        return pool + self.host_side.dispatch_core.utilization(elapsed)
-
-    def dpu_cores(self, elapsed: float) -> float:
-        """Average DPU cores consumed over ``elapsed`` seconds."""
-        return self.dma_core.utilization(elapsed) + self.spdk_core.utilization(
-            elapsed
-        )
-
-    def _ingress(
-        self,
-        flow: FiveTuple,
-        requests: List[IoRequest],
-        arrived: Callable,
-    ) -> Generator:
-        served = [
-            self.env.process(self.host_side.serve(r)) for r in requests
-        ]
-        responses: List[IoResponse] = yield self.env.all_of(served)
-        self.requests_served += len(responses)
-        for response in responses:
-            arrived(response)
+        backend = DdsBackend(env, self.host_pool, filesystem)
+        self._set_pipeline([backend], execution=backend)
+        self.backend = backend
+        self.dma = backend.dma
+        self.dma_core = backend.dma_core
+        self.spdk_core = backend.spdk_core
+        self.file_service = backend.file_service
+        self.library = backend.library
+        self.host_side = backend.host_side
+        backend.start()

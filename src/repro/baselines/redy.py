@@ -7,30 +7,57 @@ that kernel-bypass buys performance by burning CPU (§1, §8.4: "some of
 its performance comes from burning a few CPU cores on both client and
 server").  The file backend is either the OS filesystem (Redy + Windows
 files) or the DDS library path (Redy + DDS files).
+
+The spin-polling cost lives in :class:`RedyTransport`, a transport stage
+whose utilization is constant: the pollers are busy whether or not
+messages flow, on both sides of the wire.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List
-
-from ..core.messages import IoRequest, IoResponse, OpCode
-from ..core.server import StorageServerBase, _DdsHostSide
-from ..core.file_library import DdsFileLibrary
-from ..core.file_service import DpuFileService
-from ..hardware.cpu import CpuCore
+from ..core.server import PipelineServer
+from ..hardware.cpu import CpuPool
 from ..hardware.nic import NetworkLink
-from ..hardware.pcie import DmaEngine
-from ..hardware.specs import DPU_CPU, HOST_APP_OTHER, RDMA_VERBS
-from ..net.packet import FiveTuple
-from ..net.stack import StackLayer
+from ..hardware.specs import RDMA_VERBS
 from ..sim import Environment
 from ..storage.filesystem import DdsFileSystem
-from ..storage.osfs import OsFileSystem
+from ..topology.stages import (
+    DdsBackend,
+    OsFileExecution,
+    TransportStage,
+    WireEgress,
+    WireIngress,
+)
 
-__all__ = ["RedyServer"]
+__all__ = ["RedyServer", "RedyTransport"]
 
 
-class RedyServer(StorageServerBase):
+class RedyTransport(TransportStage):
+    """RDMA verbs transport plus the spin-polling cores it requires.
+
+    The pollers never idle, so their cost is a constant per side rather
+    than per-message work — exactly how Figure 16 accounts Redy.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cpu: CpuPool,
+        server_pollers: int,
+        client_pollers: int,
+    ) -> None:
+        super().__init__(env, RDMA_VERBS, cpu, name="redy-rpc")
+        self.server_pollers = server_pollers
+        self.client_pollers = client_pollers
+
+    def host_cores(self, elapsed: float) -> float:
+        return float(self.server_pollers)
+
+    def client_cores(self) -> float:
+        return float(self.client_pollers)
+
+
+class RedyServer(PipelineServer):
     """RDMA RPC disaggregation with spin-polling cores on both sides."""
 
     #: Polling cores dedicated per side (always 100% busy).
@@ -48,89 +75,40 @@ class RedyServer(StorageServerBase):
     ) -> None:
         super().__init__(env, link)
         self.dds_files = dds_files
-        self.transport = StackLayer(env, RDMA_VERBS, self.host_pool)
-        self.app_other = StackLayer(env, HOST_APP_OTHER, self.host_pool)
+        transport = RedyTransport(
+            env,
+            self.host_pool,
+            self.POLLING_CORES_SERVER,
+            self.POLLING_CORES_CLIENT,
+        )
         if dds_files:
-            self.dma = DmaEngine(env)
-            self.dma_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-dma")
-            self.spdk_core = CpuCore(
-                env, speed=DPU_CPU.speed, name="dpu-spdk"
-            )
-            self.file_service = DpuFileService(
-                env, filesystem, self.dma_core, self.spdk_core
-            )
-            self.library = DdsFileLibrary(
-                env, self.host_pool, self.file_service, self.dma
-            )
-            self.host_side = _DdsHostSide(env, self.host_pool, self.library)
-            self.file_service.start()
+            backend = DdsBackend(env, self.host_pool, filesystem)
+            execution = backend
+            self.host_side = backend.host_side
             self.osfs = None
         else:
-            self.osfs = OsFileSystem(env, filesystem, self.host_pool)
+            backend = None
+            execution = OsFileExecution(env, filesystem, self.host_pool)
             self.host_side = None
-
-    # ------------------------------------------------------------------
-    # accounting: polling cores are busy for the whole run
-    # ------------------------------------------------------------------
-    def host_cores(self, elapsed: float) -> float:
-        """Average host cores consumed over ``elapsed`` seconds."""
-        total = self.host_pool.cores_consumed(elapsed)
-        total += self.POLLING_CORES_SERVER  # spin-pollers never idle
-        if self.osfs is not None:
-            total += self.osfs.serializer.utilization(elapsed)
-        if self.host_side is not None:
-            total += self.host_side.dispatch_core.utilization(elapsed)
-        return total
-
-    def client_extra_cores(self) -> float:
-        """Client-side polling cores Figure 16's total-CPU metric adds."""
-        return float(self.POLLING_CORES_CLIENT)
-
-    def dpu_cores(self, elapsed: float) -> float:
-        """Average DPU cores consumed over ``elapsed`` seconds."""
-        if not self.dds_files:
-            return 0.0
-        return self.dma_core.utilization(elapsed) + self.spdk_core.utilization(
-            elapsed
+            self.osfs = execution.osfs
+            self.app_other = execution.app_other
+        self._set_pipeline(
+            # RDMA writes land in user memory directly: no NIC->host
+            # kernel forward hop on ingest.
+            [
+                WireIngress(env, link, forward_latency=False),
+                transport,
+                execution,
+                WireEgress(env, link),
+            ],
+            execution=execution,
         )
-
-    # ------------------------------------------------------------------
-    # request path
-    # ------------------------------------------------------------------
-    def _ingress(
-        self,
-        flow: FiveTuple,
-        requests: List[IoRequest],
-        arrived: Callable,
-    ) -> Generator:
-        message_bytes = sum(r.wire_size for r in requests)
-        yield from self.link.transmit("client_to_server", message_bytes)
-        yield from self.transport.process(message_bytes)
-        served = [self.env.process(self._serve(r)) for r in requests]
-        responses: List[IoResponse] = yield self.env.all_of(served)
-        response_bytes = sum(r.wire_size for r in responses)
-        yield from self.transport.process(response_bytes)
-        yield from self.link.transmit("server_to_client", response_bytes)
-        for response in responses:
-            arrived(response)
-
-    def _serve(self, request: IoRequest) -> Generator:
-        if self.dds_files:
-            response = yield self.env.process(self.host_side.serve(request))
-            self.requests_served += 1
-            return response
-        yield from self.app_other.process(request.wire_size)
-        if request.op is OpCode.READ:
-            data = yield self.env.process(
-                self.osfs.read(request.file_id, request.offset, request.size)
-            )
-            response = IoResponse(request.request_id, True, data)
-        else:
-            yield self.env.process(
-                self.osfs.write(
-                    request.file_id, request.offset, request.payload
-                )
-            )
-            response = IoResponse(request.request_id, True)
-        self.requests_served += 1
-        return response
+        self.transport = transport.layer
+        if backend is not None:
+            self.backend = backend
+            self.dma = backend.dma
+            self.dma_core = backend.dma_core
+            self.spdk_core = backend.spdk_core
+            self.file_service = backend.file_service
+            self.library = backend.library
+            backend.start()

@@ -6,14 +6,20 @@ why Figure 16 shows both SMB variants far below application-controlled
 disaggregation.  SMB Direct replaces the TCP transport with RDMA, which
 cuts transport CPU and latency but keeps the per-operation protocol
 behaviour.
+
+Because the protocol is per-operation, the whole exchange — credit
+grant, wire hops, transport, protocol, OS file I/O — is one execution
+stage (:class:`SmbExchange`); the pipeline has no message-granularity
+ingest or completion stages at all.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List
+from typing import Generator
 
 from ..core.messages import IoRequest, IoResponse, OpCode
-from ..core.server import StorageServerBase
+from ..core.server import PipelineServer
+from ..hardware.cpu import CpuPool
 from ..hardware.nic import NetworkLink
 from ..hardware.specs import (
     HOST_OS_TCP,
@@ -21,13 +27,13 @@ from ..hardware.specs import (
     RDMA_VERBS,
     StackSpec,
 )
-from ..net.packet import FiveTuple
 from ..net.stack import StackLayer
 from ..sim import Environment, Resource
 from ..storage.filesystem import DdsFileSystem
 from ..storage.osfs import OsFileSystem
+from ..topology.stages import Stage, StageKind
 
-__all__ = ["SmbServer", "SMB_PROTOCOL"]
+__all__ = ["SmbServer", "SmbExchange", "SMB_PROTOCOL"]
 
 #: SMB server-side protocol processing per operation (marshalling,
 #: credit management, signing bookkeeping) on top of the transport.
@@ -39,53 +45,34 @@ SMB_PROTOCOL = StackSpec(
 )
 
 
-class SmbServer(StorageServerBase):
-    """A mounted remote disk: per-operation round trips, OS files behind.
+class SmbExchange(Stage):
+    """One SMB operation end to end, gated by session credits."""
 
-    ``direct=True`` gives SMB Direct (RDMA transport).  The SMB session
-    grants a bounded number of credits (outstanding operations), which
-    caps throughput no matter how hard the client pushes.
-    """
-
-    #: Outstanding-operation credits per session.
-    CREDITS = 32
+    kind = StageKind.EXECUTION
 
     def __init__(
         self,
         env: Environment,
         link: NetworkLink,
         filesystem: DdsFileSystem,
-        direct: bool = False,
+        host_pool: CpuPool,
+        credits: int,
+        direct: bool,
     ) -> None:
-        super().__init__(env, link)
-        self.direct = direct
-        transport = RDMA_VERBS if direct else HOST_OS_TCP
-        self.client_spec = transport
-        self.transport = StackLayer(env, transport, self.host_pool)
-        self.protocol = StackLayer(env, SMB_PROTOCOL, self.host_pool)
-        self.osfs = OsFileSystem(env, filesystem, self.host_pool)
-        self._credits = Resource(env, capacity=self.CREDITS)
+        super().__init__("smb-exchange")
+        self.env = env
+        self.link = link
+        transport_spec = RDMA_VERBS if direct else HOST_OS_TCP
+        self.transport = StackLayer(env, transport_spec, host_pool)
+        self.protocol = StackLayer(env, SMB_PROTOCOL, host_pool)
+        self.osfs = OsFileSystem(env, filesystem, host_pool)
+        self.credits = Resource(env, capacity=credits)
 
     def host_cores(self, elapsed: float) -> float:
-        """Average host cores consumed over ``elapsed`` seconds."""
-        pool = self.host_pool.cores_consumed(elapsed)
-        return pool + self.osfs.serializer.utilization(elapsed)
+        return self.osfs.serializer.utilization(elapsed)
 
-    def _ingress(
-        self,
-        flow: FiveTuple,
-        requests: List[IoRequest],
-        arrived: Callable,
-    ) -> Generator:
-        # SMB has no batching: each request is its own protocol exchange,
-        # even if the benchmark client handed us several at once.
-        served = [self.env.process(self._serve(r)) for r in requests]
-        responses: List[IoResponse] = yield self.env.all_of(served)
-        for response in responses:
-            arrived(response)
-
-    def _serve(self, request: IoRequest) -> Generator:
-        grant = self._credits.request()
+    def serve(self, request: IoRequest) -> Generator:
+        grant = self.credits.request()
         yield grant
         try:
             yield from self.link.transmit(
@@ -114,6 +101,38 @@ class SmbServer(StorageServerBase):
                 "server_to_client", response.wire_size
             )
         finally:
-            self._credits.release()
-        self.requests_served += 1
+            self.credits.release()
         return response
+
+
+class SmbServer(PipelineServer):
+    """A mounted remote disk: per-operation round trips, OS files behind.
+
+    ``direct=True`` gives SMB Direct (RDMA transport).  The SMB session
+    grants a bounded number of credits (outstanding operations), which
+    caps throughput no matter how hard the client pushes.
+    """
+
+    #: Outstanding-operation credits per session.
+    CREDITS = 32
+
+    def __init__(
+        self,
+        env: Environment,
+        link: NetworkLink,
+        filesystem: DdsFileSystem,
+        direct: bool = False,
+    ) -> None:
+        super().__init__(env, link)
+        self.direct = direct
+        exchange = SmbExchange(
+            env, link, filesystem, self.host_pool, self.CREDITS, direct
+        )
+        self.client_spec = exchange.transport.spec
+        # SMB has no batching: each request is its own protocol exchange,
+        # even if the benchmark client handed us several at once.
+        self._set_pipeline([exchange], execution=exchange)
+        self.transport = exchange.transport
+        self.protocol = exchange.protocol
+        self.osfs = exchange.osfs
+        self._credits = exchange.credits

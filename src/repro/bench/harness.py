@@ -6,40 +6,28 @@ cluster for a named solution, runs the §8.1 random-I/O client against
 it, and reports achieved IOPS, latency percentiles, and cores consumed
 on host, DPU, and client.
 
-Solution names (Figure 16's ten systems plus ablations):
-
-==================  =====================================================
-``local-os``        ① Windows files, local SSD
-``local-dds``       ② DDS files, local SSD
-``smb``             ③ SMB remote mount (TCP)
-``smb-direct``      ④ SMB Direct (RDMA)
-``baseline``        ⑤ TCP + Windows files (the paper's default baseline)
-``dds-files``       ⑥ TCP + DDS files (host networking, DPU file service)
-``redy-os``         ⑦ Redy RPC + Windows files
-``redy-dds``        ⑧ Redy RPC + DDS files
-``dds-offload``     ⑨ DDS offloading over TCP
-``dds-offload-rdma``⑩ DDS offloading over RDMA
-``dds-offload-copy``   ⑨ without zero-copy (Figure 23 ablation)
-==================  =====================================================
+Solution names live in :data:`repro.topology.registry.SOLUTIONS` — the
+single source of truth: each name maps to a declarative
+:class:`~repro.topology.spec.DeploymentSpec`, and the registry builds
+the wired server from the spec.  :data:`SOLUTIONS` here is the ten
+headline names charted in Figure 16, in chart order; the registry also
+carries the ablations (``dds-files-copy``, ``dds-offload-copy``) and
+the multi-DPU sharded deployments (``dds-offload-shard2`` / ``-shard4``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional, Union
 
-from ..baselines import LocalDdsServer, LocalOsServer, RedyServer, SmbServer
 from ..core.client import ClientConfig, ClientResult, WorkloadClient
-from ..core.server import (
-    BaselineServer,
-    DdsLibraryServer,
-    DdsOffloadServer,
-    StorageServerBase,
-)
+from ..core.server import StorageServerBase
 from ..hardware.nic import NetworkLink
 from ..sim import Environment
 from ..storage.disk import RamDisk, SpdkBdev
 from ..storage.filesystem import DdsFileSystem
+from ..topology.registry import build_server, headline_solutions, resolve
+from ..topology.spec import DeploymentSpec
 
 __all__ = [
     "SOLUTIONS",
@@ -50,47 +38,10 @@ __all__ = [
     "find_peak",
 ]
 
+#: The ten Figure 16 solutions, chart order (from the registry).
+SOLUTIONS = headline_solutions()
 
-def _make_server(kind: str, env, link, fs) -> StorageServerBase:
-    if kind == "baseline":
-        return BaselineServer(env, link, fs)
-    if kind == "dds-files":
-        return DdsLibraryServer(env, link, fs)
-    if kind == "dds-files-copy":
-        return DdsLibraryServer(env, link, fs, copy_mode=True)
-    if kind == "dds-offload":
-        return DdsOffloadServer(env, link, fs)
-    if kind == "dds-offload-rdma":
-        return DdsOffloadServer(env, link, fs, rdma_transport=True)
-    if kind == "dds-offload-copy":
-        return DdsOffloadServer(env, link, fs, copy_mode=True)
-    if kind == "local-os":
-        return LocalOsServer(env, link, fs)
-    if kind == "local-dds":
-        return LocalDdsServer(env, link, fs)
-    if kind == "smb":
-        return SmbServer(env, link, fs, direct=False)
-    if kind == "smb-direct":
-        return SmbServer(env, link, fs, direct=True)
-    if kind == "redy-os":
-        return RedyServer(env, link, fs, dds_files=False)
-    if kind == "redy-dds":
-        return RedyServer(env, link, fs, dds_files=True)
-    raise ValueError(f"unknown solution: {kind!r}")
-
-
-SOLUTIONS = (
-    "local-os",
-    "local-dds",
-    "smb",
-    "smb-direct",
-    "baseline",
-    "dds-files",
-    "redy-os",
-    "redy-dds",
-    "dds-offload",
-    "dds-offload-rdma",
-)
+Solution = Union[str, DeploymentSpec]
 
 
 @dataclass
@@ -126,16 +77,19 @@ class Cluster:
 
 
 def build_cluster(
-    kind: str,
+    kind: Solution,
     db_bytes: int = 192 << 20,
     disk_bytes: Optional[int] = None,
 ) -> Cluster:
     """Assemble disk, filesystem, link, and server for one solution.
 
-    The benchmark database is ``db_bytes`` of preallocated file (the
-    paper uses a 128 GB database; we scale it down — random cold reads
-    behave identically since nothing is cached anywhere).
+    ``kind`` is a registered solution name or a
+    :class:`~repro.topology.spec.DeploymentSpec` directly.  The benchmark
+    database is ``db_bytes`` of preallocated file (the paper uses a
+    128 GB database; we scale it down — random cold reads behave
+    identically since nothing is cached anywhere).
     """
+    spec = resolve(kind)
     env = Environment()
     disk = RamDisk(disk_bytes if disk_bytes else db_bytes + (64 << 20))
     fs = DdsFileSystem(env, SpdkBdev(env, disk))
@@ -143,12 +97,12 @@ def build_cluster(
     file_id = fs.create_file("bench", "database")
     fs.preallocate(file_id, db_bytes)
     link = NetworkLink(env)
-    server = _make_server(kind, env, link, fs)
+    server = build_server(spec, env, link, fs)
     return Cluster(env=env, server=server, filesystem=fs, file_id=file_id)
 
 
 def run_io_experiment(
-    kind: str,
+    kind: Solution,
     offered_iops: float,
     total_requests: int = 15_000,
     io_size: int = 1024,
@@ -178,7 +132,7 @@ def run_io_experiment(
     if extra is not None:
         client_cores += extra()
     return ExperimentResult(
-        kind=kind,
+        kind=resolve(kind).name,
         offered_iops=offered_iops,
         achieved_iops=result.achieved_iops,
         elapsed=result.elapsed,
@@ -193,7 +147,7 @@ def run_io_experiment(
 
 
 def sweep(
-    kind: str,
+    kind: Solution,
     offered_points: List[float],
     **kwargs,
 ) -> List[ExperimentResult]:
@@ -205,7 +159,7 @@ def sweep(
 
 
 def find_peak(
-    kind: str,
+    kind: Solution,
     start_iops: float = 200_000.0,
     factor: float = 1.6,
     tolerance: float = 0.05,

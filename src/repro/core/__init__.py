@@ -1,19 +1,26 @@
 """DDS core: storage path, network path, offload engine, servers, client."""
 
 from .api import OffloadCallbacks, ReadOp, WriteOp, passthrough_callbacks
-from .client import ClientConfig, ClientResult, WorkloadClient
 from .dma_ring import DmaRingChannel, RingTransferModel, RingTransferResult
 from .file_library import DdsFileLibrary, NotificationGroup, PollMode
 from .file_service import DpuFileService
 from .messages import IoRequest, IoResponse, OpCode
 from .offload_engine import Context, ContextStatus, OffloadEngine
-from .server import (
-    BaselineServer,
-    DdsLibraryServer,
-    DdsOffloadServer,
-    StorageServerBase,
-)
 from .traffic_director import TrafficDirector
+
+# The server and client modules are loaded lazily (PEP 562): the servers
+# are built from repro.topology stages, and those stages import this
+# package's leaf modules — eager imports here would close that loop.
+_LAZY = {
+    "BaselineServer": "server",
+    "DdsLibraryServer": "server",
+    "DdsOffloadServer": "server",
+    "PipelineServer": "server",
+    "StorageServerBase": "server",
+    "ClientConfig": "client",
+    "ClientResult": "client",
+    "WorkloadClient": "client",
+}
 
 __all__ = [
     "BaselineServer",
@@ -32,6 +39,7 @@ __all__ = [
     "OffloadCallbacks",
     "OffloadEngine",
     "OpCode",
+    "PipelineServer",
     "PollMode",
     "ReadOp",
     "RingTransferModel",
@@ -42,3 +50,21 @@ __all__ = [
     "WriteOp",
     "passthrough_callbacks",
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -20,7 +20,7 @@ copies instead — the ablation Figure 18 plots.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List
 
 from ..hardware.cpu import CpuCore
 from ..hardware.specs import MICROSECOND

@@ -12,48 +12,62 @@ Three server flavours correspond to the three curves of Figures 14-15:
   serves them without touching the host; writes (and cache-miss reads)
   fall back to the host library path over the split connection.
 
-All servers expose the same ``submit`` interface to the workload client
-and the same cores-consumed accounting, so every benchmark swaps servers
-without touching the harness.
+All three are :class:`PipelineServer` compositions of the stages in
+:mod:`repro.topology.stages` — the generic ingress walks the inbound
+stages, fans requests out to the execution stage (or hands the whole
+message to a steering stage), and walks the outbound stages back.  Every
+server exposes the same ``submit`` interface to the workload client and
+the same per-stage cores-consumed roll-up, so every benchmark swaps
+servers without touching the harness.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional, Sequence
+from typing import Callable, Generator, List, Optional, Sequence
 
 from ..hardware.cpu import CpuCore, CpuPool
 from ..hardware.nic import NetworkLink
-from ..hardware.pcie import DmaEngine
 from ..hardware.specs import (
     BENCH_APP_NET,
     DPU_CPU,
-    HOST_APP_OTHER,
     HOST_CPU,
     HOST_OS_TCP,
-    MICROSECOND,
     RDMA_VERBS,
     StackSpec,
 )
 from ..net.packet import AppSignature, FiveTuple
 from ..net.stack import StackLayer
 from ..sim import Environment, Event
-from ..storage.filesystem import DdsFileSystem, FileSystemError
-from ..storage.osfs import OsFileSystem
+from ..storage.filesystem import DdsFileSystem
 from ..structures.cuckoo import CuckooCacheTable
 from ..structures.memory import BufferPool
+from ..topology.stages import (
+    DdsBackend,
+    DdsHostSide,
+    DirectorSteering,
+    OsFileExecution,
+    Stage,
+    StageKind,
+    TransportStage,
+    WireEgress,
+    WireIngress,
+)
 from .api import OffloadCallbacks, passthrough_callbacks
-from .file_library import DdsFileLibrary, PollMode
-from .file_service import DpuFileService
-from .messages import IoRequest, IoResponse, OpCode
+from .messages import IoRequest, IoResponse
 from .offload_engine import OffloadEngine
 from .traffic_director import TrafficDirector
 
 __all__ = [
     "StorageServerBase",
+    "PipelineServer",
     "BaselineServer",
     "DdsLibraryServer",
     "DdsOffloadServer",
 ]
+
+#: Backwards-compatible name for the host-side logic, which moved to
+#: :mod:`repro.topology.stages` when the servers became compositions.
+_DdsHostSide = DdsHostSide
 
 
 class StorageServerBase:
@@ -116,7 +130,108 @@ class StorageServerBase:
         return 0.0
 
 
-class BaselineServer(StorageServerBase):
+class PipelineServer(StorageServerBase):
+    """A server assembled from composable datapath stages.
+
+    Subclasses build their stage list in ``__init__`` and hand it to
+    :meth:`_set_pipeline`.  The generic ingress then walks the inbound
+    stages (ingest + transport) forward, runs the execution stage per
+    request (or yields the whole message to the steering stage, which
+    owns its own egress), and walks transports in reverse plus the
+    completion stages on the way out.  Cores-consumed accounting is a
+    single roll-up over the stages — no per-server overrides.
+    """
+
+    def _set_pipeline(
+        self,
+        stages: Sequence[Stage],
+        execution: Optional[Stage] = None,
+        steering: Optional[Stage] = None,
+    ) -> None:
+        if (execution is None) == (steering is None):
+            raise ValueError(
+                "a pipeline needs exactly one of execution or steering"
+            )
+        self._stages = list(stages)
+        self._execution = execution
+        self._steering = steering
+        self._inbound = [
+            s for s in self._stages
+            if s.kind in (StageKind.INGEST, StageKind.TRANSPORT)
+        ]
+        if steering is not None:
+            # The steering stage owns response egress (direct return via
+            # the director's transmit path): nothing runs after it.
+            self._outbound: List[Stage] = []
+        else:
+            transports = [
+                s for s in self._stages if s.kind is StageKind.TRANSPORT
+            ]
+            completion = [
+                s for s in self._stages if s.kind is StageKind.COMPLETION
+            ]
+            self._outbound = list(reversed(transports)) + completion
+
+    @property
+    def stages(self) -> List[Stage]:
+        """The datapath stages, inbound order."""
+        return list(self._stages)
+
+    # ------------------------------------------------------------------
+    # accounting: one roll-up over the stages
+    # ------------------------------------------------------------------
+    def host_cores(self, elapsed: float) -> float:
+        """Average host cores consumed over ``elapsed`` seconds."""
+        total = self.host_pool.cores_consumed(elapsed)
+        for stage in self._stages:
+            total += stage.host_cores(elapsed)
+        return total
+
+    def dpu_cores(self, elapsed: float) -> float:
+        """Average DPU cores consumed over ``elapsed`` seconds."""
+        total = 0.0
+        for stage in self._stages:
+            total += stage.dpu_cores(elapsed)
+        return total
+
+    def client_extra_cores(self) -> float:
+        """Constant client-side cores (Redy's spin pollers)."""
+        total = 0.0
+        for stage in self._stages:
+            total += stage.client_cores()
+        return total
+
+    # ------------------------------------------------------------------
+    # generic ingress
+    # ------------------------------------------------------------------
+    def _ingress(
+        self,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        arrived: Callable,
+    ) -> Generator:
+        message_bytes = sum(r.wire_size for r in requests)
+        for stage in self._inbound:
+            yield from stage.inbound(flow, message_bytes)
+        if self._steering is not None:
+            yield self.env.process(
+                self._steering.steer(flow, requests, arrived)
+            )
+            self.requests_served += len(requests)
+            return
+        served = [
+            self.env.process(self._execution.serve(r)) for r in requests
+        ]
+        responses: List[IoResponse] = yield self.env.all_of(served)
+        response_bytes = sum(r.wire_size for r in responses)
+        for stage in self._outbound:
+            yield from stage.outbound(flow, response_bytes)
+        self.requests_served += len(responses)
+        for response in responses:
+            arrived(response)
+
+
+class BaselineServer(PipelineServer):
     """Windows sockets + OS filesystem: the paper's baseline (§8.1)."""
 
     def __init__(
@@ -128,132 +243,43 @@ class BaselineServer(StorageServerBase):
         app_net_spec: StackSpec = BENCH_APP_NET,
     ) -> None:
         super().__init__(env, link)
-        self.os_tcp = StackLayer(env, HOST_OS_TCP, self.host_pool)
-        self.app_net = StackLayer(env, app_net_spec, self.host_pool)
-        self.app_other = StackLayer(env, HOST_APP_OTHER, self.host_pool)
-        self.osfs = OsFileSystem(env, filesystem, self.host_pool)
+        os_tcp = TransportStage(env, HOST_OS_TCP, self.host_pool)
+        app_net = TransportStage(env, app_net_spec, self.host_pool)
         # Application override: (IoRequest) -> generator yielding events,
         # returning an IoResponse.  Default is plain file semantics.
-        self.app_handler = app_handler
+        execution = OsFileExecution(
+            env,
+            filesystem,
+            self.host_pool,
+            app_handler=app_handler,
+            catch_errors=True,
+        )
+        self._set_pipeline(
+            [
+                WireIngress(env, link, forward_latency=True),
+                os_tcp,
+                app_net,
+                execution,
+                WireEgress(env, link),
+            ],
+            execution=execution,
+        )
+        # Long-standing wiring aliases (apps and tests reach into them).
+        self.os_tcp = os_tcp.layer
+        self.app_net = app_net.layer
+        self.app_other = execution.app_other
+        self.osfs = execution.osfs
 
-    def host_cores(self, elapsed: float) -> float:
-        """Average host cores consumed over ``elapsed`` seconds."""
-        pool = self.host_pool.cores_consumed(elapsed)
-        return pool + self.osfs.serializer.utilization(elapsed)
+    @property
+    def app_handler(self) -> Optional[Callable]:
+        return self._execution.app_handler
 
-    def _ingress(
-        self,
-        flow: FiveTuple,
-        requests: List[IoRequest],
-        arrived: Callable,
-    ) -> Generator:
-        message_bytes = sum(r.wire_size for r in requests)
-        yield from self.link.transmit("client_to_server", message_bytes)
-        yield self.env.timeout(self.link.spec.host_forward)
-        yield from self.os_tcp.process(message_bytes)
-        yield from self.app_net.process(message_bytes)
-        served = [self.env.process(self._serve(r)) for r in requests]
-        responses: List[IoResponse] = yield self.env.all_of(served)
-        response_bytes = sum(r.wire_size for r in responses)
-        yield from self.app_net.process(response_bytes)
-        yield from self.os_tcp.process(response_bytes)
-        yield from self.link.transmit("server_to_client", response_bytes)
-        for response in responses:
-            arrived(response)
-
-    def _serve(self, request: IoRequest) -> Generator:
-        yield from self.app_other.process(request.wire_size)
-        try:
-            if self.app_handler is not None:
-                response = yield self.env.process(self.app_handler(request))
-            elif request.op is OpCode.READ:
-                data = yield self.env.process(
-                    self.osfs.read(
-                        request.file_id, request.offset, request.size
-                    )
-                )
-                response = IoResponse(request.request_id, True, data)
-            else:
-                yield self.env.process(
-                    self.osfs.write(
-                        request.file_id, request.offset, request.payload
-                    )
-                )
-                response = IoResponse(request.request_id, True)
-        except FileSystemError:
-            response = IoResponse(request.request_id, False)
-        self.requests_served += 1
-        return response
+    @app_handler.setter
+    def app_handler(self, handler: Optional[Callable]) -> None:
+        self._execution.app_handler = handler
 
 
-class _DdsHostSide:
-    """Host application logic shared by both DDS deployments.
-
-    Owns the DDS file library, a set of notification groups (one per
-    simulated application thread), the completion pump that resolves
-    request ids back to waiters, and the host app's single I/O dispatch
-    thread whose serialized per-request work bounds the library path's
-    throughput (see DESIGN.md §4 on this calibration assumption).
-    """
-
-    DISPATCH_COST = 1.7 * MICROSECOND
-    GROUPS = 4
-
-    def __init__(
-        self,
-        env: Environment,
-        host_pool: CpuPool,
-        library: DdsFileLibrary,
-    ) -> None:
-        self.env = env
-        self.host_pool = host_pool
-        self.library = library
-        self.dispatch_core = CpuCore(env, speed=1.0, name="app-dispatch")
-        self.app_other = StackLayer(env, HOST_APP_OTHER, host_pool)
-        self.groups = [library.create_poll() for _ in range(self.GROUPS)]
-        self._waiters: Dict[int, Event] = {}
-        self._registered_files: set = set()
-        for group in self.groups:
-            env.process(self._completion_pump(group))
-
-    def register_file(self, file_id: int) -> None:
-        """Spread files across notification groups round-robin."""
-        if file_id in self._registered_files:
-            return
-        group = self.groups[len(self._registered_files) % len(self.groups)]
-        self.library.poll_add(group, file_id)
-        self._registered_files.add(file_id)
-
-    def _completion_pump(self, group) -> Generator:
-        while True:
-            completion = yield self.env.process(
-                self.library.poll_wait(group, PollMode.SLEEPING)
-            )
-            request_id, ok, data = completion
-            waiter = self._waiters.pop(request_id, None)
-            if waiter is not None:
-                waiter.succeed(IoResponse(request_id, ok, data))
-
-    def serve(self, request: IoRequest) -> Generator:
-        """Application processing + library issue + completion wait."""
-        yield from self.app_other.process(request.wire_size)
-        yield from self.dispatch_core.execute(self.DISPATCH_COST)
-        self.register_file(request.file_id)
-        if request.op is OpCode.READ:
-            request_id = yield from self.library.read_file(
-                request.file_id, request.offset, request.size
-            )
-        else:
-            request_id = yield from self.library.write_file(
-                request.file_id, request.offset, request.payload
-            )
-        waiter = self.env.event()
-        self._waiters[request_id] = waiter
-        response: IoResponse = yield waiter
-        return response
-
-
-class DdsLibraryServer(StorageServerBase):
+class DdsLibraryServer(PipelineServer):
     """Host networking + DDS file library; file execution on the DPU."""
 
     def __init__(
@@ -266,56 +292,32 @@ class DdsLibraryServer(StorageServerBase):
     ) -> None:
         super().__init__(env, link)
         self.client_spec = transport_spec
-        self.dma = DmaEngine(env)
-        self.dma_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-dma")
-        self.spdk_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-spdk")
-        self.file_service = DpuFileService(
-            env, filesystem, self.dma_core, self.spdk_core, copy_mode
+        backend = DdsBackend(env, self.host_pool, filesystem, copy_mode)
+        transport = TransportStage(env, transport_spec, self.host_pool)
+        app_net = TransportStage(env, BENCH_APP_NET, self.host_pool)
+        self._set_pipeline(
+            [
+                WireIngress(env, link, forward_latency=True),
+                transport,
+                app_net,
+                backend,
+                WireEgress(env, link),
+            ],
+            execution=backend,
         )
-        self.library = DdsFileLibrary(
-            env, self.host_pool, self.file_service, self.dma
-        )
-        self.host_side = _DdsHostSide(env, self.host_pool, self.library)
-        self.transport = StackLayer(env, transport_spec, self.host_pool)
-        self.app_net = StackLayer(env, BENCH_APP_NET, self.host_pool)
-        self.file_service.start()
-
-    def host_cores(self, elapsed: float) -> float:
-        """Average host cores consumed over ``elapsed`` seconds."""
-        pool = self.host_pool.cores_consumed(elapsed)
-        return pool + self.host_side.dispatch_core.utilization(elapsed)
-
-    def dpu_cores(self, elapsed: float) -> float:
-        """Average DPU cores consumed over ``elapsed`` seconds."""
-        return self.dma_core.utilization(elapsed) + self.spdk_core.utilization(
-            elapsed
-        )
-
-    def _ingress(
-        self,
-        flow: FiveTuple,
-        requests: List[IoRequest],
-        arrived: Callable,
-    ) -> Generator:
-        message_bytes = sum(r.wire_size for r in requests)
-        yield from self.link.transmit("client_to_server", message_bytes)
-        yield self.env.timeout(self.link.spec.host_forward)
-        yield from self.transport.process(message_bytes)
-        yield from self.app_net.process(message_bytes)
-        served = [
-            self.env.process(self.host_side.serve(r)) for r in requests
-        ]
-        responses: List[IoResponse] = yield self.env.all_of(served)
-        response_bytes = sum(r.wire_size for r in responses)
-        yield from self.app_net.process(response_bytes)
-        yield from self.transport.process(response_bytes)
-        yield from self.link.transmit("server_to_client", response_bytes)
-        self.requests_served += len(responses)
-        for response in responses:
-            arrived(response)
+        self.backend = backend
+        self.dma = backend.dma
+        self.dma_core = backend.dma_core
+        self.spdk_core = backend.spdk_core
+        self.file_service = backend.file_service
+        self.library = backend.library
+        self.host_side = backend.host_side
+        self.transport = transport.layer
+        self.app_net = app_net.layer
+        backend.start()
 
 
-class DdsOffloadServer(StorageServerBase):
+class DdsOffloadServer(PipelineServer):
     """Full DDS: traffic director + offload engine on the DPU (§5-§6)."""
 
     def __init__(
@@ -336,22 +338,13 @@ class DdsOffloadServer(StorageServerBase):
         callbacks = callbacks or passthrough_callbacks()
         signature = signature or AppSignature(server_port=5000)
         self.callbacks = callbacks
-        self.dma = DmaEngine(env)
-        self.dma_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-dma")
-        self.spdk_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-spdk")
+        backend = DdsBackend(env, self.host_pool, filesystem, copy_mode)
         self.director_core_list = [
             CpuCore(env, speed=DPU_CPU.speed, name=f"dpu-director-{i}")
             for i in range(director_cores)
         ]
-        self.file_service = DpuFileService(
-            env, filesystem, self.dma_core, self.spdk_core, copy_mode
-        )
         self.cache_table = CuckooCacheTable(cache_items)
-        self.file_service.set_offload_hooks(callbacks, self.cache_table)
-        self.library = DdsFileLibrary(
-            env, self.host_pool, self.file_service, self.dma
-        )
-        self.host_side = _DdsHostSide(env, self.host_pool, self.library)
+        backend.file_service.set_offload_hooks(callbacks, self.cache_table)
         # Application override for requests bounced to the host (KV gets,
         # GetPage@LSN); default is plain file semantics via the library.
         self.host_app = host_app
@@ -362,7 +355,7 @@ class DdsOffloadServer(StorageServerBase):
         self.engine = OffloadEngine(
             env,
             self.director_core_list[0],
-            self.file_service,
+            backend.file_service,
             callbacks,
             self.cache_table,
             BufferPool(256 << 20),
@@ -380,36 +373,32 @@ class DdsOffloadServer(StorageServerBase):
             self._host_handler,
             rdma=rdma_transport,
         )
-        self.file_service.start()
-
-    def host_cores(self, elapsed: float) -> float:
-        """Average host cores consumed over ``elapsed`` seconds."""
-        pool = self.host_pool.cores_consumed(elapsed)
-        return pool + self.host_side.dispatch_core.utilization(elapsed)
-
-    def dpu_cores(self, elapsed: float) -> float:
-        """Average DPU cores consumed over ``elapsed`` seconds."""
-        total = self.dma_core.utilization(elapsed)
-        total += self.spdk_core.utilization(elapsed)
-        for core in self.director_core_list:
-            total += core.utilization(elapsed)
-        return total
-
-    def _ingress(
-        self,
-        flow: FiveTuple,
-        requests: List[IoRequest],
-        arrived: Callable,
-    ) -> Generator:
-        message_bytes = sum(r.wire_size for r in requests)
-        yield from self.link.transmit("client_to_server", message_bytes)
-        # NIC hardware evaluates the signature at line rate; matching
-        # packets go to the director, others to the host inside
-        # receive_message.
-        yield self.env.process(
-            self.director.receive_message(flow, requests, arrived)
+        steering = DirectorSteering(
+            env,
+            self.director_core_list,
+            self.director,
+            self.engine,
+            self.cache_table,
         )
-        self.requests_served += len(requests)
+        self._set_pipeline(
+            # NIC hardware evaluates the signature at line rate, so the
+            # ingest stage skips the NIC->host PCIe forward; unmatched
+            # flows pay it inside receive_message instead.
+            [
+                WireIngress(env, link, forward_latency=False),
+                backend,
+                steering,
+            ],
+            steering=steering,
+        )
+        self.backend = backend
+        self.dma = backend.dma
+        self.dma_core = backend.dma_core
+        self.spdk_core = backend.spdk_core
+        self.file_service = backend.file_service
+        self.library = backend.library
+        self.host_side = backend.host_side
+        backend.start()
 
     def _host_handler(
         self, requests: Sequence[IoRequest], respond: Callable

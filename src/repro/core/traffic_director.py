@@ -15,7 +15,15 @@ throughput of Figure 14a.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..hardware.cpu import CpuCore
 from ..hardware.nic import NetworkLink
@@ -26,6 +34,9 @@ from ..structures.cuckoo import CuckooCacheTable
 from .api import OffloadCallbacks
 from .messages import IoRequest, IoResponse
 from .offload_engine import OffloadEngine
+
+if TYPE_CHECKING:
+    from ..topology.sharding import ConsistentHashShardMap
 
 __all__ = ["TrafficDirector"]
 
@@ -49,6 +60,9 @@ class TrafficDirector:
     #: Cost scale when messages arrive over RDMA instead of split TCP
     #: (§8.4 ⑩: the DDS-RDMA port skips TLDK's TCP processing).
     RDMA_COST_SCALE = 0.4
+    #: Host-core-seconds per request to look its file up in the shard
+    #: map (consistent-hash ring walk; sharded deployments only).
+    SHARD_LOOKUP_COST = 0.03 * MICROSECOND
 
     def __init__(
         self,
@@ -61,6 +75,8 @@ class TrafficDirector:
         engine: Optional[OffloadEngine],
         host_handler: HostHandler,
         rdma: bool = False,
+        shard_map: Optional["ConsistentHashShardMap"] = None,
+        shard_id: int = 0,
     ) -> None:
         if not cores:
             raise ValueError("traffic director needs at least one core")
@@ -74,10 +90,18 @@ class TrafficDirector:
         self.host_handler = host_handler
         self.rdma = rdma
         self._cost_scale = self.RDMA_COST_SCALE if rdma else 1.0
+        #: Consistent-hash file→shard map (multi-DPU deployments only).
+        self.shard_map = shard_map
+        self.shard_id = shard_id
+        #: Sibling directors indexed by shard id; the sharded deployment
+        #: assigns this once every shard is constructed.
+        self.peers: List["TrafficDirector"] = []
         self.messages_seen = 0
         self.requests_offloaded = 0
         self.requests_to_host = 0
         self.unmatched_messages = 0
+        self.requests_relayed = 0
+        self.relayed_messages = 0
 
     # ------------------------------------------------------------------
     # receive path
@@ -115,10 +139,80 @@ class TrafficDirector:
         self.messages_seen += 1
         message_bytes = sum(r.wire_size for r in requests)
         packets = self.link.packets_for(message_bytes)
+        if self.shard_map is None:
+            yield from core.execute(
+                self._cost_scale * self.RX_COST_PER_PACKET * packets
+                + self.OFFPRED_COST * len(requests)
+            )
+            yield from self._dispatch(core, flow, requests, respond)
+            return
+        # Sharded deployment: TLDK receive plus one shard-map lookup per
+        # request; the OffPred charge is paid by whichever shard ends up
+        # executing each batch.
+        yield from core.execute(
+            self._cost_scale * self.RX_COST_PER_PACKET * packets
+            + self.SHARD_LOOKUP_COST * len(requests)
+        )
+        batches: Dict[int, List[IoRequest]] = {}
+        for request in requests:
+            owner = self.shard_map.owner(request.file_id)
+            batches.setdefault(owner, []).append(request)
+        local = batches.pop(self.shard_id, None)
+        for shard_id in sorted(batches):
+            batch = batches[shard_id]
+            relay_bytes = sum(r.wire_size for r in batch)
+            yield from core.execute(
+                self._cost_scale
+                * self.FORWARD_COST_PER_PACKET
+                * self.link.packets_for(relay_bytes)
+            )
+            self.requests_relayed += len(batch)
+            self.env.process(self._relay(shard_id, flow, batch, respond))
+        if local:
+            yield from core.execute(self.OFFPRED_COST * len(local))
+            yield from self._dispatch(core, flow, local, respond)
+
+    def _relay(
+        self,
+        shard_id: int,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        respond: Callable,
+    ) -> Generator:
+        """DPU→DPU hop to the shard that owns these files."""
+        yield self.env.timeout(self.link.spec.dpu_forward)
+        peer = self.peers[shard_id]
+        yield self.env.process(peer.receive_relayed(flow, requests, respond))
+
+    def receive_relayed(
+        self,
+        flow: FiveTuple,
+        requests: Sequence[IoRequest],
+        respond: Callable,
+    ) -> Generator:
+        """Serve a batch relayed by a sibling shard's director.
+
+        The owning shard pays receive + OffPred and answers the client
+        directly (direct server return) through its own transmit path.
+        """
+        core = self.core_for(flow)
+        self.relayed_messages += 1
+        message_bytes = sum(r.wire_size for r in requests)
+        packets = self.link.packets_for(message_bytes)
         yield from core.execute(
             self._cost_scale * self.RX_COST_PER_PACKET * packets
             + self.OFFPRED_COST * len(requests)
         )
+        yield from self._dispatch(core, flow, requests, respond)
+
+    def _dispatch(
+        self,
+        core: CpuCore,
+        flow: FiveTuple,
+        requests: Sequence[IoRequest],
+        respond: Callable,
+    ) -> Generator:
+        """OffPred split: offload engine first, host fallback second."""
         host_requests, dpu_requests = self.callbacks.off_pred(
             requests, self.cache_table
         )

@@ -218,6 +218,49 @@ class DdsFileSystem:
             cursor += run.length
         meta.size = max(meta.size, end)
 
+    def read_sync(self, file_id: int, offset: int, size: int) -> bytes:
+        """Setup-time read: fetch the bytes with zero simulated time.
+
+        The counterpart of :meth:`write_sync`, used when cloning a
+        namespace into shard filesystems at deployment bring-up.
+        """
+        meta = self._meta(file_id)
+        if offset < 0 or size < 0:
+            raise FileSystemError("negative offset or size")
+        if offset + size > meta.size:
+            raise FileSystemError(
+                f"read [{offset}, {offset + size}) beyond EOF at {meta.size}"
+            )
+        return b"".join(
+            self.bdev.disk.read(run.disk_offset, run.length)
+            for run in meta.extents.translate(offset, size)
+        )
+
+    def clone_into(self, other: "DdsFileSystem", chunk: int = 4 << 20) -> None:
+        """Replicate this namespace and its contents into ``other``.
+
+        ``other`` must be empty.  File ids are preserved exactly (shard
+        filesystems must agree with the primary on ids, since the shard
+        map hashes them), and content is copied with zero simulated time
+        — this is deployment bring-up, not measured I/O.
+        """
+        if other._files or other._directories:
+            raise FileSystemError("clone target must be an empty filesystem")
+        for directory in self._directories:
+            other.create_directory(directory)
+        for file_id in sorted(self._files):
+            meta = self._files[file_id]
+            other._next_file_id = file_id
+            created = other.create_file(meta.directory, meta.name)
+            assert created == file_id
+            other.preallocate(file_id, meta.size)
+            for offset in range(0, meta.size, chunk):
+                span = min(chunk, meta.size - offset)
+                other.write_sync(
+                    file_id, offset, self.read_sync(file_id, offset, span)
+                )
+        other._next_file_id = self._next_file_id
+
     def read(self, file_id: int, offset: int, size: int) -> Generator:
         """Read ``size`` bytes at ``offset``; returns the data."""
         meta = self._meta(file_id)

@@ -1,0 +1,313 @@
+"""N-DPU sharded scale-out: consistent-hash steering between directors.
+
+The ROADMAP's scale-out item: one host, N DPUs, each DPU owning a shard
+of the file namespace.  A :class:`ConsistentHashShardMap` assigns every
+file id to a shard; each traffic director holds the map and relays
+requests for files it does not own to the owning shard's director over
+the DPU↔DPU fabric (charged like the §5.3 bump-in-the-wire forward).
+The owning shard serves the request — offload engine first, its own host
+fallback second — and answers the client directly (direct server
+return).  Per-shard host fallback is preserved: every shard keeps its
+own file library + host-side dispatch, so writes and bounced reads land
+on the host exactly as in the single-DPU deployment.
+
+Hashing is deliberately *not* Python's builtin ``hash`` (salted per
+process); splitmix64 keeps shard placement stable across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Callable, Generator, List, Optional, Sequence
+
+from ..core.api import OffloadCallbacks, passthrough_callbacks
+from ..core.messages import IoRequest, IoResponse
+from ..core.offload_engine import OffloadEngine
+from ..core.server import PipelineServer
+from ..core.traffic_director import TrafficDirector
+from ..hardware.cpu import CpuCore
+from ..hardware.nic import NetworkLink
+from ..hardware.specs import (
+    BENCH_APP_NET,
+    DPU_CPU,
+    HOST_OS_TCP,
+    RDMA_VERBS,
+)
+from ..net.packet import AppSignature, FiveTuple
+from ..net.stack import StackLayer
+from ..sim import Environment
+from ..storage.disk import RamDisk, SpdkBdev
+from ..storage.filesystem import DdsFileSystem
+from ..structures.cuckoo import CuckooCacheTable
+from ..structures.memory import BufferPool
+from .stages import DdsBackend, Stage, StageKind, WireIngress
+
+__all__ = [
+    "ConsistentHashShardMap",
+    "flow_shard",
+    "mirror_filesystem",
+    "OffloadShard",
+    "ShardedSteering",
+    "ShardedOffloadServer",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """Deterministic 64-bit mix (process-stable, unlike builtin hash)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class ConsistentHashShardMap:
+    """File id → owning shard, via a consistent-hash ring.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring; a file id
+    belongs to the first point clockwise of its hash.  Virtual nodes keep
+    the split even (within a few percent at 64 vnodes), and adding a
+    shard only moves ~1/N of the keys — the property that makes on-line
+    rebalancing plausible future work.
+    """
+
+    def __init__(self, shard_count: int, vnodes: int = 64) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shard_count = shard_count
+        self.vnodes = vnodes
+        ring = []
+        for shard in range(shard_count):
+            for vnode in range(vnodes):
+                point = _splitmix64(((shard + 1) << 32) | vnode)
+                ring.append((point, shard))
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._shards = [shard for _, shard in ring]
+
+    def owner(self, file_id: int) -> int:
+        """The shard that owns ``file_id``."""
+        if self.shard_count == 1:
+            return 0
+        index = bisect_right(self._points, _splitmix64(file_id))
+        return self._shards[index % len(self._shards)]
+
+
+def flow_shard(flow: FiveTuple, shard_count: int) -> int:
+    """Which shard's director a flow's packets arrive at (ingress RSS).
+
+    Symmetric (both directions map identically) and process-stable —
+    :meth:`FiveTuple.rss_hash` uses the salted builtin ``hash``, which is
+    fine within one simulation but would make sharded results differ
+    between runs.
+    """
+    endpoints = sorted(
+        [
+            f"{flow.client_ip}:{flow.client_port}",
+            f"{flow.server_ip}:{flow.server_port}",
+        ]
+    )
+    key = f"{endpoints[0]},{endpoints[1]},{flow.protocol}".encode()
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "little") % shard_count
+
+
+def mirror_filesystem(
+    env: Environment, source: DdsFileSystem
+) -> DdsFileSystem:
+    """A fresh filesystem on its own SSD with the same namespace.
+
+    Every shard needs its own device (one SSD per DPU, as in the paper's
+    testbed) — sharing one bdev would cap aggregate IOPS at a single
+    SSD.  File ids are preserved so the shard map agrees across shards.
+    """
+    disk = RamDisk(source.bdev.disk.size)
+    mirror = DdsFileSystem(
+        env, SpdkBdev(env, disk), segment_size=source.segment_size
+    )
+    source.clone_into(mirror)
+    return mirror
+
+
+class OffloadShard:
+    """One DPU's worth of offload machinery: backend + director + engine."""
+
+    def __init__(
+        self,
+        index: int,
+        backend: DdsBackend,
+        cache_table: CuckooCacheTable,
+        cores: List[CpuCore],
+        engine: OffloadEngine,
+        director: TrafficDirector,
+    ) -> None:
+        self.index = index
+        self.backend = backend
+        self.cache_table = cache_table
+        self.cores = cores
+        self.engine = engine
+        self.director = director
+
+
+class ShardedSteering(Stage):
+    """Steering across N shard directors.
+
+    Ingress RSS picks the director a client flow lands on; that director
+    consults the shard map, serves what it owns, and relays the rest.
+    """
+
+    kind = StageKind.STEERING
+
+    def __init__(self, env: Environment, shards: List[OffloadShard]) -> None:
+        super().__init__("sharded-director")
+        self.env = env
+        self.shards = shards
+
+    def dpu_cores(self, elapsed: float) -> float:
+        total = 0.0
+        for shard in self.shards:
+            for core in shard.cores:
+                total += core.utilization(elapsed)
+        return total
+
+    def steer(
+        self,
+        flow: FiveTuple,
+        requests: Sequence[IoRequest],
+        respond: Callable,
+    ) -> Generator:
+        director = self.shards[flow_shard(flow, len(self.shards))].director
+        yield from director.receive_message(flow, requests, respond)
+
+
+class ShardedOffloadServer(PipelineServer):
+    """Full DDS offloading sharded across N DPUs (one shard map, N
+    directors, N offload engines, N per-shard host fallbacks)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: NetworkLink,
+        filesystem: DdsFileSystem,
+        shard_count: int,
+        callbacks: Optional[OffloadCallbacks] = None,
+        signature: Optional[AppSignature] = None,
+        cache_items: int = 1 << 20,
+        director_cores: int = 1,
+        context_slots: int = 1024,
+        copy_mode: bool = False,
+        rdma_transport: bool = False,
+        host_app: Optional[Callable] = None,
+        vnodes: int = 64,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        super().__init__(env, link)
+        callbacks = callbacks or passthrough_callbacks()
+        signature = signature or AppSignature(server_port=5000)
+        self.callbacks = callbacks
+        self.host_app = host_app
+        self.shard_map = ConsistentHashShardMap(shard_count, vnodes=vnodes)
+        #: Shard 0 serves the caller's filesystem; other shards get a
+        #: mirrored namespace on their own SSD.
+        self.filesystems = [filesystem] + [
+            mirror_filesystem(env, filesystem)
+            for _ in range(shard_count - 1)
+        ]
+        transport_spec = RDMA_VERBS if rdma_transport else HOST_OS_TCP
+        self.client_spec = transport_spec
+        self.transport = StackLayer(env, transport_spec, self.host_pool)
+        self.app_net = StackLayer(env, BENCH_APP_NET, self.host_pool)
+        self.shards: List[OffloadShard] = []
+        for index in range(shard_count):
+            backend = DdsBackend(
+                env,
+                self.host_pool,
+                self.filesystems[index],
+                copy_mode,
+                name=f"dds-backend-{index}",
+            )
+            cache_table = CuckooCacheTable(cache_items)
+            backend.file_service.set_offload_hooks(callbacks, cache_table)
+            cores = [
+                CpuCore(
+                    env,
+                    speed=DPU_CPU.speed,
+                    name=f"dpu{index}-director-{core}",
+                )
+                for core in range(director_cores)
+            ]
+            engine = OffloadEngine(
+                env,
+                cores[0],
+                backend.file_service,
+                callbacks,
+                cache_table,
+                BufferPool(256 << 20),
+                context_slots=context_slots,
+                copy_mode=copy_mode,
+            )
+            director = TrafficDirector(
+                env,
+                link,
+                cores,
+                signature,
+                callbacks,
+                cache_table,
+                engine,
+                self._host_handler_for(backend),
+                rdma=rdma_transport,
+                shard_map=self.shard_map,
+                shard_id=index,
+            )
+            self.shards.append(
+                OffloadShard(
+                    index, backend, cache_table, cores, engine, director
+                )
+            )
+        directors = [shard.director for shard in self.shards]
+        for shard in self.shards:
+            shard.director.peers = directors
+        steering = ShardedSteering(env, self.shards)
+        self._set_pipeline(
+            [WireIngress(env, link, forward_latency=False)]
+            + [shard.backend for shard in self.shards]
+            + [steering],
+            steering=steering,
+        )
+        self.directors = directors
+        for shard in self.shards:
+            shard.backend.start()
+
+    def _host_handler_for(self, backend: DdsBackend) -> Callable:
+        host_side = backend.host_side
+
+        def handler(
+            requests: Sequence[IoRequest], respond: Callable
+        ) -> Generator:
+            return self._host_serve(host_side, requests, respond)
+
+        return handler
+
+    def _host_serve(
+        self,
+        host_side,
+        requests: Sequence[IoRequest],
+        respond: Callable,
+    ) -> Generator:
+        """Host fallback over the owning shard's split connection."""
+        message_bytes = sum(r.wire_size for r in requests)
+        yield from self.transport.process(message_bytes)
+        yield from self.app_net.process(message_bytes)
+        handler = self.host_app or host_side.serve
+        served = [self.env.process(handler(r)) for r in requests]
+        responses: List[IoResponse] = yield self.env.all_of(served)
+        response_bytes = sum(r.wire_size for r in responses)
+        yield from self.app_net.process(response_bytes)
+        yield from self.transport.process(response_bytes)
+        for response in responses:
+            respond(response)

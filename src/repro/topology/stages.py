@@ -1,0 +1,403 @@
+"""Composable datapath stages (the paper's §5 pipeline, as parts).
+
+The DDS architecture is an explicit pipeline — NIC signature match →
+traffic director → offload engine / host file library → file service —
+but the original reproduction hard-wired that pipeline separately into
+every server flavour.  This module breaks the wiring into typed, reusable
+*stages* so deployments are compositions instead of copies:
+
+* :class:`WireIngress` / :class:`WireEgress` — ``ingest`` / ``completion``:
+  the NIC link hop (client→server wire + PCIe host forward; server→client
+  wire).
+* :class:`TransportStage` — ``transport``: one network-stack layer
+  (kernel TCP, RDMA verbs, the app's messaging module) charged to a CPU.
+* :class:`OsFileExecution` — ``execution``: the baseline host path
+  (application dispatch + OS filesystem).
+* :class:`DdsBackend` — ``execution`` backend: the DPU half of DDS (DMA
+  engine, DMA/SPDK cores, file service, host file library, host-side
+  completion pump).
+* :class:`DirectorSteering` — ``steering``: the traffic director + offload
+  engine of one DPU, consuming whole client messages.
+
+Every stage also reports its own resource consumption
+(:meth:`Stage.host_cores` / :meth:`Stage.dpu_cores` /
+:meth:`Stage.client_cores`), so a server's cores-consumed accounting is a
+single roll-up over its stages instead of ad-hoc per-server overrides.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from ..core.file_library import DdsFileLibrary, PollMode
+from ..core.file_service import DpuFileService
+from ..core.messages import IoRequest, IoResponse, OpCode
+from ..core.offload_engine import OffloadEngine
+from ..core.traffic_director import TrafficDirector
+from ..hardware.cpu import CpuCore, CpuPool
+from ..hardware.nic import NetworkLink
+from ..hardware.pcie import DmaEngine
+from ..hardware.specs import DPU_CPU, HOST_APP_OTHER, MICROSECOND, StackSpec
+from ..net.packet import FiveTuple
+from ..net.stack import StackLayer
+from ..sim import Environment, Event
+from ..storage.filesystem import DdsFileSystem, FileSystemError
+from ..storage.osfs import OsFileSystem
+from ..structures.cuckoo import CuckooCacheTable
+
+__all__ = [
+    "StageKind",
+    "Stage",
+    "WireIngress",
+    "WireEgress",
+    "TransportStage",
+    "OsFileExecution",
+    "DdsHostSide",
+    "DdsBackend",
+    "DirectorSteering",
+]
+
+
+class StageKind(enum.Enum):
+    """Where in the datapath a stage sits."""
+
+    INGEST = "ingest"
+    TRANSPORT = "transport"
+    STEERING = "steering"
+    EXECUTION = "execution"
+    COMPLETION = "completion"
+
+
+class Stage:
+    """Base class: datapath role plus per-stage utilization accounting.
+
+    Subclasses implement the hooks matching their kind:
+
+    * ingest / transport / completion stages implement
+      :meth:`inbound` and/or :meth:`outbound` (message granularity);
+    * execution stages implement :meth:`serve` (request granularity);
+    * steering stages implement :meth:`steer` (whole-message ownership,
+      including response egress).
+    """
+
+    kind: StageKind = StageKind.EXECUTION
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # -- accounting roll-up hooks --------------------------------------
+    def host_cores(self, elapsed: float) -> float:
+        """Host cores consumed by resources this stage owns exclusively
+        (anything charged to a shared :class:`CpuPool` is accounted by
+        the pool itself)."""
+        return 0.0
+
+    def dpu_cores(self, elapsed: float) -> float:
+        """DPU Arm cores consumed by cores this stage owns."""
+        return 0.0
+
+    def client_cores(self) -> float:
+        """Constant client-side cores this stage burns (Redy pollers)."""
+        return 0.0
+
+    # -- datapath hooks ------------------------------------------------
+    def inbound(self, flow: FiveTuple, message_bytes: int) -> Generator:
+        raise NotImplementedError(f"{self.name} has no inbound hook")
+
+    def outbound(self, flow: FiveTuple, response_bytes: int) -> Generator:
+        raise NotImplementedError(f"{self.name} has no outbound hook")
+
+    def serve(self, request: IoRequest) -> Generator:
+        raise NotImplementedError(f"{self.name} has no serve hook")
+
+    def steer(
+        self,
+        flow: FiveTuple,
+        requests: Sequence[IoRequest],
+        respond: Callable,
+    ) -> Generator:
+        raise NotImplementedError(f"{self.name} has no steer hook")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.kind.value}:{self.name}>"
+
+
+class WireIngress(Stage):
+    """Client→server link hop, optionally plus the NIC→host PCIe forward
+    (the hop DDS offloading avoids, so offload deployments disable it and
+    let the traffic director charge it only for unmatched flows)."""
+
+    kind = StageKind.INGEST
+
+    def __init__(
+        self, env: Environment, link: NetworkLink, forward_latency: bool
+    ) -> None:
+        super().__init__("wire-ingress")
+        self.env = env
+        self.link = link
+        self.forward_latency = forward_latency
+
+    def inbound(self, flow: FiveTuple, message_bytes: int) -> Generator:
+        yield from self.link.transmit("client_to_server", message_bytes)
+        if self.forward_latency:
+            yield self.env.timeout(self.link.spec.host_forward)
+
+
+class WireEgress(Stage):
+    """Server→client link hop delivering the response message."""
+
+    kind = StageKind.COMPLETION
+
+    def __init__(self, env: Environment, link: NetworkLink) -> None:
+        super().__init__("wire-egress")
+        self.env = env
+        self.link = link
+
+    def outbound(self, flow: FiveTuple, response_bytes: int) -> Generator:
+        yield from self.link.transmit("server_to_client", response_bytes)
+
+
+class TransportStage(Stage):
+    """One network-stack layer crossed in both directions."""
+
+    kind = StageKind.TRANSPORT
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: StackSpec,
+        cpu,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or spec.name)
+        self.layer = StackLayer(env, spec, cpu)
+
+    def inbound(self, flow: FiveTuple, message_bytes: int) -> Generator:
+        yield from self.layer.process(message_bytes)
+
+    def outbound(self, flow: FiveTuple, response_bytes: int) -> Generator:
+        yield from self.layer.process(response_bytes)
+
+
+class OsFileExecution(Stage):
+    """Host execution through the OS filesystem (the paper's baseline).
+
+    Runs the application's own request handling (``HOST_APP_OTHER``) and
+    then either the installed application handler or plain file semantics
+    against the kernel file path.  ``catch_errors`` mirrors the historical
+    server behaviour: the TCP baseline converts filesystem errors into
+    failed responses, while the local/Redy variants surface them.
+    """
+
+    kind = StageKind.EXECUTION
+
+    def __init__(
+        self,
+        env: Environment,
+        filesystem: DdsFileSystem,
+        host_pool: CpuPool,
+        app_handler: Optional[Callable] = None,
+        catch_errors: bool = False,
+        app_other_spec: StackSpec = HOST_APP_OTHER,
+    ) -> None:
+        super().__init__("os-file-execution")
+        self.env = env
+        self.app_other = StackLayer(env, app_other_spec, host_pool)
+        self.osfs = OsFileSystem(env, filesystem, host_pool)
+        self.app_handler = app_handler
+        self.catch_errors = catch_errors
+
+    def host_cores(self, elapsed: float) -> float:
+        # The kernel's serialized I/O section is a dedicated core outside
+        # the host pool.
+        return self.osfs.serializer.utilization(elapsed)
+
+    def serve(self, request: IoRequest) -> Generator:
+        yield from self.app_other.process(request.wire_size)
+        try:
+            if self.app_handler is not None:
+                response = yield self.env.process(self.app_handler(request))
+            elif request.op is OpCode.READ:
+                data = yield self.env.process(
+                    self.osfs.read(
+                        request.file_id, request.offset, request.size
+                    )
+                )
+                response = IoResponse(request.request_id, True, data)
+            else:
+                yield self.env.process(
+                    self.osfs.write(
+                        request.file_id, request.offset, request.payload
+                    )
+                )
+                response = IoResponse(request.request_id, True)
+        except FileSystemError:
+            if not self.catch_errors:
+                raise
+            response = IoResponse(request.request_id, False)
+        return response
+
+
+class DdsHostSide:
+    """Host application logic shared by every DDS library deployment.
+
+    Owns a set of notification groups (one per simulated application
+    thread), the completion pump that resolves request ids back to
+    waiters, and the host app's single I/O dispatch thread whose
+    serialized per-request work bounds the library path's throughput
+    (see DESIGN.md §4 on this calibration assumption).
+    """
+
+    DISPATCH_COST = 1.7 * MICROSECOND
+    GROUPS = 4
+
+    def __init__(
+        self,
+        env: Environment,
+        host_pool: CpuPool,
+        library: DdsFileLibrary,
+        app_other_spec: StackSpec = HOST_APP_OTHER,
+    ) -> None:
+        self.env = env
+        self.host_pool = host_pool
+        self.library = library
+        self.dispatch_core = CpuCore(env, speed=1.0, name="app-dispatch")
+        self.app_other = StackLayer(env, app_other_spec, host_pool)
+        self.groups = [library.create_poll() for _ in range(self.GROUPS)]
+        self._waiters: Dict[int, Event] = {}
+        self._registered_files: set = set()
+        for group in self.groups:
+            env.process(self._completion_pump(group))
+
+    def register_file(self, file_id: int) -> None:
+        """Spread files across notification groups round-robin."""
+        if file_id in self._registered_files:
+            return
+        group = self.groups[len(self._registered_files) % len(self.groups)]
+        self.library.poll_add(group, file_id)
+        self._registered_files.add(file_id)
+
+    def _completion_pump(self, group) -> Generator:
+        while True:
+            completion = yield self.env.process(
+                self.library.poll_wait(group, PollMode.SLEEPING)
+            )
+            request_id, ok, data = completion
+            waiter = self._waiters.pop(request_id, None)
+            if waiter is not None:
+                waiter.succeed(IoResponse(request_id, ok, data))
+
+    def serve(self, request: IoRequest) -> Generator:
+        """Application processing + library issue + completion wait."""
+        yield from self.app_other.process(request.wire_size)
+        yield from self.dispatch_core.execute(self.DISPATCH_COST)
+        self.register_file(request.file_id)
+        if request.op is OpCode.READ:
+            request_id = yield from self.library.read_file(
+                request.file_id, request.offset, request.size
+            )
+        else:
+            request_id = yield from self.library.write_file(
+                request.file_id, request.offset, request.payload
+            )
+        waiter = self.env.event()
+        self._waiters[request_id] = waiter
+        response: IoResponse = yield waiter
+        return response
+
+
+class DdsBackend(Stage):
+    """The DPU half of a DDS deployment, bundled as one execution stage.
+
+    Creating a backend wires up the full §4 substrate for one DPU: the
+    PCIe DMA engine, the two dedicated Arm cores (DMA thread + SPDK
+    worker), the DPU file service over this shard's filesystem, the host
+    file library, and the host-side dispatch/completion logic.  Call
+    :meth:`start` once the rest of the deployment is assembled to spawn
+    the service threads.
+    """
+
+    kind = StageKind.EXECUTION
+
+    def __init__(
+        self,
+        env: Environment,
+        host_pool: CpuPool,
+        filesystem: DdsFileSystem,
+        copy_mode: bool = False,
+        name: str = "dds-backend",
+        app_other_spec: StackSpec = HOST_APP_OTHER,
+    ) -> None:
+        super().__init__(name)
+        self.env = env
+        self.filesystem = filesystem
+        self.dma = DmaEngine(env)
+        self.dma_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-dma")
+        self.spdk_core = CpuCore(env, speed=DPU_CPU.speed, name="dpu-spdk")
+        self.file_service = DpuFileService(
+            env, filesystem, self.dma_core, self.spdk_core, copy_mode
+        )
+        self.library = DdsFileLibrary(
+            env, host_pool, self.file_service, self.dma
+        )
+        self.host_side = DdsHostSide(
+            env, host_pool, self.library, app_other_spec
+        )
+
+    def start(self) -> None:
+        """Spawn the file service's DMA thread and SPDK worker."""
+        self.file_service.start()
+
+    def host_cores(self, elapsed: float) -> float:
+        return self.host_side.dispatch_core.utilization(elapsed)
+
+    def dpu_cores(self, elapsed: float) -> float:
+        return self.dma_core.utilization(elapsed) + self.spdk_core.utilization(
+            elapsed
+        )
+
+    def serve(self, request: IoRequest) -> Generator:
+        return self.host_side.serve(request)
+
+
+class DirectorSteering(Stage):
+    """One DPU's traffic director + offload engine, owning whole messages.
+
+    The steering stage consumes the client message after the NIC hop:
+    the director's signature/OffPred logic dispatches each request to the
+    offload engine or to the host fallback, and responses leave through
+    the director's transmit path — so no egress stages run after it.
+    """
+
+    kind = StageKind.STEERING
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: List[CpuCore],
+        director: TrafficDirector,
+        engine: OffloadEngine,
+        cache_table: CuckooCacheTable,
+        name: str = "director",
+    ) -> None:
+        super().__init__(name)
+        self.env = env
+        self.cores = cores
+        self.director = director
+        self.engine = engine
+        self.cache_table = cache_table
+
+    def dpu_cores(self, elapsed: float) -> float:
+        total = 0.0
+        for core in self.cores:
+            total += core.utilization(elapsed)
+        return total
+
+    def steer(
+        self,
+        flow: FiveTuple,
+        requests: Sequence[IoRequest],
+        respond: Callable,
+    ) -> Generator:
+        yield from self.director.receive_message(flow, requests, respond)
