@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — run the ddslint driver."""
+
+from .driver import main
+
+raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Rule registry and module classification for ``ddslint``.
+
+The lint reasons about three *module classes*, mirroring the concurrency
+conventions DESIGN.md documents:
+
+* **shared** — modules holding state accessed by more than one logical
+  thread (the lock-free structures, the offload engine's context ring,
+  the sharded steering layer).  Read-modify-write and container
+  mutations there must go through :class:`~repro.structures.atomics.
+  AtomicCounter`, a lock, or a documented idiom (DDS101/DDS102).
+* **instrumented** — shared modules whose accesses the deterministic
+  interleaving harness (PR 2) must be able to schedule around: every
+  shared mutation needs a lexically preceding ``yield_point()`` in the
+  same function (DDS201).
+* **sim** — modules driven by the discrete-event simulator, where any
+  wall-clock read, process-global randomness, or hash-salt dependence
+  would make schedules and benchmark figures unreproducible
+  (DDS301/DDS302/DDS303).
+
+Classification is by path relative to the ``repro`` package root, so the
+registry below is the single place a new module opts into a class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "DEFAULT_CONFIG",
+    "RULES",
+    "EXEMPT_DECLARATION",
+]
+
+#: Name of the class-level declaration the atomicity checks recognise:
+#: ``_DDSLINT_EXEMPT = {"field": "justification", ...}`` marks fields
+#: whose unguarded mutation is safe by a documented protocol (single
+#: writer per field, slot ownership via CAS reservation, GIL-atomic
+#: deque ends).  Justifications must be non-empty.
+EXEMPT_DECLARATION = "_DDSLINT_EXEMPT"
+
+#: Rule id -> one-line summary (kept in sync with DESIGN.md §"Static
+#: analysis").
+RULES: Dict[str, str] = {
+    "DDS101": (
+        "read-modify-write on a shared attribute outside "
+        "AtomicCounter/lock/documented idiom"
+    ),
+    "DDS102": (
+        "non-atomic container mutation on a shared attribute outside "
+        "lock/copy-on-write idiom"
+    ),
+    "DDS201": (
+        "shared access without a lexically preceding yield_point() — "
+        "invisible to the interleaving harness"
+    ),
+    "DDS301": "wall-clock time source inside sim-driven code",
+    "DDS302": "process-global randomness inside sim-driven code",
+    "DDS303": (
+        "hash-salt or iteration-order dependence inside sim-driven code"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding (possibly suppressed by an inline comment)."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    def format(self) -> str:
+        tag = " [suppressed]" if self.suppressed else ""
+        return f"{self.path}:{self.line}: {self.rule}{tag} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which module paths belong to which lint class.
+
+    Paths are posix-style and relative to the ``repro`` package root
+    (``structures/rings.py``).  Prefixes match whole directories.
+    """
+
+    shared_prefixes: Tuple[str, ...] = ("structures/",)
+    shared_files: Tuple[str, ...] = (
+        "core/offload_engine.py",
+        "topology/sharding.py",
+    )
+    instrumented_prefixes: Tuple[str, ...] = ("structures/",)
+    instrumented_files: Tuple[str, ...] = ("core/offload_engine.py",)
+    sim_prefixes: Tuple[str, ...] = (
+        "sim/",
+        "hardware/",
+        "net/",
+        "baselines/",
+    )
+    #: Files inside sim prefixes that *implement* the blessed idioms and
+    #: are therefore exempt from the determinism rules (the seeded RNG
+    #: wrapper is allowed to touch :mod:`random`).
+    sim_exempt_files: Tuple[str, ...] = ("sim/rng.py",)
+
+    def classes_for(self, relpath: str) -> FrozenSet[str]:
+        """The lint classes a module (path relative to repro/) is in."""
+        classes: Set[str] = set()
+        if relpath.startswith(self.shared_prefixes) or (
+            relpath in self.shared_files
+        ):
+            classes.add("shared")
+        if relpath.startswith(self.instrumented_prefixes) or (
+            relpath in self.instrumented_files
+        ):
+            classes.add("instrumented")
+        if (
+            relpath.startswith(self.sim_prefixes)
+            and relpath not in self.sim_exempt_files
+        ):
+            classes.add("sim")
+        return frozenset(classes)
+
+
+DEFAULT_CONFIG = LintConfig()

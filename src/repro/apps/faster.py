@@ -23,7 +23,7 @@ from typing import Callable, Generator, Optional, Union
 from ..core.file_library import DdsFileLibrary
 from ..hardware.cpu import CpuCore, CpuPool
 from ..hardware.specs import MICROSECOND
-from ..sim import Environment, Event
+from ..sim import Environment
 from ..storage.osfs import OsFileSystem
 
 __all__ = ["RECORD", "FasterKv", "OsFileDevice", "DdsFileDevice"]

@@ -30,8 +30,7 @@ from ..core.server import BaselineServer, DdsOffloadServer
 from ..hardware.cpu import CpuCore
 from ..hardware.nic import NetworkLink
 from ..hardware.specs import HOST_APP_NET, MICROSECOND
-from ..net.stack import StackLayer
-from ..sim import Environment, Event, SeededRng
+from ..sim import Environment, SeededRng
 from ..storage.disk import RamDisk, SpdkBdev
 from ..storage.filesystem import DdsFileSystem
 

@@ -26,7 +26,7 @@ from typing import Generator, List
 
 from ..hardware.cpu import CpuCore
 from ..hardware.nic import NetworkLink
-from ..hardware.specs import DPU_CPU, MICROSECOND
+from ..hardware.specs import MICROSECOND
 from ..sim import Environment
 
 __all__ = ["EchoResult", "EchoBench", "RESPONDERS"]

@@ -20,11 +20,19 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Optional
 
-__all__ = ["yield_point", "set_scheduler_hook", "get_scheduler_hook"]
+__all__ = [
+    "SchedulerHook",
+    "yield_point",
+    "set_scheduler_hook",
+    "get_scheduler_hook",
+]
+
+#: Signature of a yield-point observer: ``(label, key) -> None``.
+SchedulerHook = Callable[[str, Hashable], None]
 
 #: When a scheduler is active, a callable ``(label, key) -> None`` that
 #: suspends controlled threads.  None in production.
-_hook: Optional[Callable[[str, Hashable], None]] = None
+_hook: Optional[SchedulerHook] = None
 
 
 def yield_point(label: str = "", key: Hashable = None) -> None:
@@ -34,13 +42,11 @@ def yield_point(label: str = "", key: Hashable = None) -> None:
         hook(label, key)
 
 
-def set_scheduler_hook(
-    hook: Optional[Callable[[str, Hashable], None]],
-) -> None:
+def set_scheduler_hook(hook: Optional[SchedulerHook]) -> None:
     """Install (or with None, remove) the active scheduler's hook."""
     global _hook
     _hook = hook
 
 
-def get_scheduler_hook() -> Optional[Callable[[str, Hashable], None]]:
+def get_scheduler_hook() -> Optional[SchedulerHook]:
     return _hook

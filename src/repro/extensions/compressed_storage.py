@@ -18,7 +18,7 @@ back through the filesystem, decompressed, and verified.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List
 
 from ..hardware.cpu import CpuCore
 from ..hardware.specs import DPU_CPU

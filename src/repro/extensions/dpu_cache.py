@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List
 
 from ..core.api import ReadOp
 from ..hardware.cpu import CpuCore

@@ -10,6 +10,7 @@ rate.  Stage two (the offload predicate) inspects payloads and lives in
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
@@ -43,18 +44,20 @@ class FiveTuple:
         """Symmetric RSS hash: both directions map to the same core (§7).
 
         Symmetry avoids sharing TCP-splitting connection state between
-        DPU cores when the host responds on a split connection.
+        DPU cores when the host responds on a split connection.  The
+        hash is blake2b over the *sorted* endpoint pair — not the
+        builtin ``hash``, which is salted per process (PYTHONHASHSEED)
+        and would make core and shard placement differ between runs.
         """
-        key = (
-            frozenset(
-                [
-                    (self.client_ip, self.client_port),
-                    (self.server_ip, self.server_port),
-                ]
-            ),
-            self.protocol,
+        endpoints = sorted(
+            [
+                f"{self.client_ip}:{self.client_port}",
+                f"{self.server_ip}:{self.server_port}",
+            ]
         )
-        return hash(key) % buckets
+        key = f"{endpoints[0]},{endpoints[1]},{self.protocol}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "little") % buckets
 
 
 @dataclass(frozen=True)

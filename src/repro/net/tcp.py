@@ -16,8 +16,8 @@ avoidance, triple-duplicate-ACK fast retransmit with window halving.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from .packet import Segment
 

@@ -14,7 +14,7 @@ byte ranges into physical runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
 __all__ = ["SegmentAllocator", "FileExtentMap", "PhysicalRun", "StorageFullError"]
 

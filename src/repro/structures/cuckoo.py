@@ -129,6 +129,21 @@ class CacheTableStats:
 class CuckooCacheTable:
     """Fixed-capacity 2-choice cuckoo hash table with bucket chaining."""
 
+    _DDSLINT_EXEMPT = {
+        "_buckets": (
+            "mutated only in _place/_update_in_place, which run under "
+            "the writer lock held by their sole callers insert/delete; "
+            "lock-free readers are protected by the append-before-erase "
+            "and copy-on-write move order, checked per schedule by "
+            "CuckooVisibilityChecker"
+        ),
+        "stats": (
+            "writer-side counters are mutated only under the writer "
+            "lock (directly or in _place); read-side counters go "
+            "through AtomicCounter in CacheTableStats"
+        ),
+    }
+
     def __init__(
         self,
         max_items: int,

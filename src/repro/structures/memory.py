@@ -12,19 +12,32 @@ per-class freelists, carving fresh slabs from the remaining region only
 when a freelist is empty.  ``allocate`` returning None signals pool
 exhaustion, which the engine treats as backpressure (the request falls
 back to the host, like a full context ring).
+
+Concurrency: the pool is shared between the offload engine (allocate on
+intake) and the completion path (release), so freelist edits and the
+stats counters run under a pool mutex — like :class:`~repro.structures.
+rings.LockRing`, the critical section contains no yield points, and the
+``yield_point`` schedule hook sits *outside* the lock so the
+deterministic interleaving harness can context-switch between competing
+allocators without parking a lock holder.  Double release is detected
+under the same lock, closing the check-then-act window a racing pair of
+``release()`` calls would otherwise have.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from repro.concurrency.hooks import yield_point
 
 __all__ = ["PoolStats", "DmaBuffer", "BufferPool"]
 
 
 @dataclass
 class PoolStats:
-    """Allocation counters for a buffer pool."""
+    """Allocation counters for a buffer pool (mutated under its lock)."""
 
     allocations: int = 0
     frees: int = 0
@@ -47,9 +60,6 @@ class DmaBuffer:
 
     def release(self) -> None:
         """Return the buffer to its pool (idempotence is an error)."""
-        if self._free:
-            raise RuntimeError("buffer released twice")
-        self._free = True
         self.pool._reclaim(self)
 
 
@@ -73,6 +83,8 @@ class BufferPool:
         self.max_class = max_class
         self._remaining = total_bytes
         self._freelists: Dict[int, List[DmaBuffer]] = {}
+        self._lock = threading.Lock()
+        self._key = ("pool", id(self))
         self.stats = PoolStats()
 
     def class_for(self, size: int) -> int:
@@ -91,33 +103,45 @@ class BufferPool:
     def allocate(self, size: int) -> Optional[DmaBuffer]:
         """Lease a buffer of at least ``size`` bytes; None when exhausted."""
         cls = self.class_for(size)
-        freelist = self._freelists.setdefault(cls, [])
-        if freelist:
-            buffer = freelist.pop()
-            buffer.size = size
-            buffer._free = False
-        elif self._remaining >= cls:
-            self._remaining -= cls
-            buffer = DmaBuffer(self, cls, size)
-        else:
-            self.stats.failures += 1
-            return None
-        self.stats.allocations += 1
-        self.stats.bytes_in_use += cls
-        self.stats.peak_bytes = max(
-            self.stats.peak_bytes, self.stats.bytes_in_use
-        )
-        return buffer
+        yield_point("pool.alloc", self._key)
+        with self._lock:
+            freelist = self._freelists.setdefault(cls, [])
+            if freelist:
+                buffer = freelist.pop()
+                buffer.size = size
+                buffer._free = False
+            elif self._remaining >= cls:
+                self._remaining -= cls
+                buffer = DmaBuffer(self, cls, size)
+            else:
+                self.stats.failures += 1
+                return None
+            self.stats.allocations += 1
+            self.stats.bytes_in_use += cls
+            self.stats.peak_bytes = max(
+                self.stats.peak_bytes, self.stats.bytes_in_use
+            )
+            return buffer
 
     def _reclaim(self, buffer: DmaBuffer) -> None:
-        self._freelists.setdefault(buffer.class_size, []).append(buffer)
-        self.stats.frees += 1
-        self.stats.bytes_in_use -= buffer.class_size
+        yield_point("pool.reclaim", self._key)
+        with self._lock:
+            if buffer._free:
+                raise RuntimeError("buffer released twice")
+            buffer._free = True
+            self._freelists.setdefault(buffer.class_size, []).append(
+                buffer
+            )
+            self.stats.frees += 1
+            self.stats.bytes_in_use -= buffer.class_size
 
     @property
     def bytes_available(self) -> int:
         """Uncarved bytes plus bytes parked on freelists."""
-        parked = sum(
-            cls * len(buffers) for cls, buffers in self._freelists.items()
-        )
-        return self._remaining + parked
+        yield_point("pool.available", self._key)
+        with self._lock:
+            parked = sum(
+                cls * len(buffers)
+                for cls, buffers in self._freelists.items()
+            )
+            return self._remaining + parked

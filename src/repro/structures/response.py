@@ -80,6 +80,27 @@ class ResponseBuffer:
     #: Fixed response-header bytes (Figure 9: response id, error code, size).
     HEADER_BYTES = 16
 
+    _DDSLINT_EXEMPT = {
+        "tail_allocated": (
+            "single-writer: only the allocation path (request intake) "
+            "advances TailA; readers tolerate a stale snapshot"
+        ),
+        "tail_buffered": (
+            "single-writer: only the harvester advances TailB"
+        ),
+        "tail_completed": (
+            "single-writer: only the DMA-completion path advances TailC"
+        ),
+        "_pending": (
+            "SPSC deque: allocation appends, the harvester popleft-s; "
+            "deque ends are GIL-atomic and the roles touch opposite ends"
+        ),
+        "_buffered": (
+            "SPSC deque: the harvester appends, delivery popleft-s; "
+            "deque ends are GIL-atomic and the roles touch opposite ends"
+        ),
+    }
+
     def __init__(self, capacity: int, delivery_batch: int = 1) -> None:
         if capacity <= self.HEADER_BYTES:
             raise ValueError("capacity too small for one response")
@@ -156,9 +177,15 @@ class ResponseBuffer:
         """
         if not force and not self.should_deliver():
             return []
-        yield_point("resp.deliver", ("resp", id(self), "buffered"))
-        batch = list(self._buffered)
-        self._buffered.clear()
+        # Drain with popleft rather than snapshot-then-clear: a harvest
+        # that lands between ``list(self._buffered)`` and ``.clear()``
+        # would have its responses silently discarded (never delivered,
+        # TailC stuck behind TailB forever).  popleft only removes what
+        # this call will actually return.
+        batch: List[PreallocatedResponse] = []
+        while self._buffered:
+            yield_point("resp.deliver", ("resp", id(self), "buffered"))
+            batch.append(self._buffered.popleft())
         return batch
 
     def mark_delivered(self, batch: List[PreallocatedResponse]) -> None:

@@ -17,7 +17,6 @@ process); splitmix64 keeps shard placement stable across runs.
 
 from __future__ import annotations
 
-import hashlib
 from bisect import bisect_right
 from typing import Callable, Generator, List, Optional, Sequence
 
@@ -39,6 +38,7 @@ from ..net.stack import StackLayer
 from ..sim import Environment
 from ..storage.disk import RamDisk, SpdkBdev
 from ..storage.filesystem import DdsFileSystem
+from ..structures.atomics import AtomicCounter
 from ..structures.cuckoo import CuckooCacheTable
 from ..structures.memory import BufferPool
 from .stages import DdsBackend, Stage, StageKind, WireIngress
@@ -100,20 +100,12 @@ class ConsistentHashShardMap:
 def flow_shard(flow: FiveTuple, shard_count: int) -> int:
     """Which shard's director a flow's packets arrive at (ingress RSS).
 
-    Symmetric (both directions map identically) and process-stable —
-    :meth:`FiveTuple.rss_hash` uses the salted builtin ``hash``, which is
-    fine within one simulation but would make sharded results differ
-    between runs.
+    Delegates to :meth:`FiveTuple.rss_hash`, which is symmetric (both
+    directions map identically) and process-stable (blake2b over the
+    sorted endpoint pair), so per-core RSS and shard steering agree by
+    construction.
     """
-    endpoints = sorted(
-        [
-            f"{flow.client_ip}:{flow.client_port}",
-            f"{flow.server_ip}:{flow.server_port}",
-        ]
-    )
-    key = f"{endpoints[0]},{endpoints[1]},{flow.protocol}".encode()
-    digest = hashlib.blake2b(key, digest_size=8).digest()
-    return int.from_bytes(digest, "little") % shard_count
+    return flow.rss_hash(shard_count)
 
 
 def mirror_filesystem(
@@ -166,6 +158,20 @@ class ShardedSteering(Stage):
         super().__init__("sharded-director")
         self.env = env
         self.shards = shards
+        # Atomic adds, not ``counts[i] += 1``: steering decisions for
+        # different flows interleave, and a lost update would make the
+        # per-shard load report disagree with the directors' own totals.
+        self._steered = [AtomicCounter(0) for _ in shards]
+
+    @property
+    def shard_loads(self) -> List[int]:
+        """Messages steered to each shard, in shard-index order."""
+        return [counter.load() for counter in self._steered]
+
+    @property
+    def messages_steered(self) -> int:
+        """Total steering decisions made (sum over shards)."""
+        return sum(self.shard_loads)
 
     def dpu_cores(self, elapsed: float) -> float:
         total = 0.0
@@ -180,7 +186,9 @@ class ShardedSteering(Stage):
         requests: Sequence[IoRequest],
         respond: Callable,
     ) -> Generator:
-        director = self.shards[flow_shard(flow, len(self.shards))].director
+        shard_index = flow_shard(flow, len(self.shards))
+        self._steered[shard_index].fetch_add(1)
+        director = self.shards[shard_index].director
         yield from director.receive_message(flow, requests, respond)
 
 

@@ -1,0 +1,17 @@
+"""ddslint fixture: clean under every classification."""
+
+from repro.concurrency.hooks import yield_point
+
+
+class Clean:
+    def __init__(self):
+        self.value = 0
+        self._lock = None
+
+    def locked_add(self, n):
+        yield_point("clean.add", ("clean", id(self)))
+        with self._lock:
+            self.value += n
+
+    def read(self):
+        return self.value

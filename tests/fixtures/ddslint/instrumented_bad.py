@@ -1,0 +1,19 @@
+"""ddslint fixture: yield-point coverage gaps."""
+
+from repro.concurrency.hooks import yield_point
+
+
+class Ring:
+    def __init__(self):
+        self.slots = []
+
+    def covered(self, item):
+        yield_point("ring.push", ("ring", id(self)))
+        self.slots.append(item)
+
+    def uncovered(self, item):
+        self.slots.append(item)
+
+    def late_yield(self, item):
+        self.slots.append(item)
+        yield_point("ring.push", ("ring", id(self)))

@@ -1,0 +1,27 @@
+"""ddslint fixture: atomicity violations in a shared class."""
+
+
+class BadQueue:
+    def __init__(self):
+        self.count = 0
+        self.items = []
+        self.table = {}
+        self._lock = None
+
+    def push(self, item):
+        self.count += 1
+        self.items.append(item)
+
+    def merge(self, others):
+        self.count = self.count + len(others)
+
+    def drop(self, key):
+        del self.table[key]
+
+    def alias_mutation(self):
+        bucket = self.items
+        bucket.append(0)
+
+    def locked_push(self, item):
+        with self._lock:
+            self.items.append(item)

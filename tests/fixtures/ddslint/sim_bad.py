@@ -1,0 +1,35 @@
+"""ddslint fixture: determinism violations in sim-driven code."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def deadline():
+    return datetime.now()
+
+
+def jitter():
+    return random.random()
+
+
+def seeded(seed):
+    return random.Random(seed)
+
+
+def token():
+    return os.urandom(8)
+
+
+def bucket(key, buckets):
+    return hash(key) % buckets
+
+
+def drain(sink):
+    for value in {3, 1, 2}:
+        sink.append(value)

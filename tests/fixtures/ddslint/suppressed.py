@@ -1,0 +1,22 @@
+"""ddslint fixture: every suppression form the driver understands."""
+# ddslint: disable-file=DDS301 -- replay tooling; the wall clock is data
+
+import time
+
+
+class Tails:
+    _DDSLINT_EXEMPT = {"tail": "single-writer field"}
+
+    def advance(self, n):
+        self.tail += n
+
+    def bump(self):
+        self.count += 1  # ddslint: disable=DDS101 -- test-only counter
+
+    def shift(self):
+        # ddslint: disable=DDS101 -- suppression on the line above
+        self.total += 1
+
+
+def stamp():
+    return time.time()

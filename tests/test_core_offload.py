@@ -126,6 +126,45 @@ class TestOffloadEngine:
         assert accepted == [True]
         assert len(responses) == 1 and not responses[0].ok
 
+    def test_steering_counters_are_plain_ints(self):
+        # Regression for the AtomicCounter conversion (ddslint DDS101):
+        # the public counters stay int-valued so reports and tests keep
+        # comparing them directly.
+        env, engine, fid = make_engine()
+        requests = [
+            IoRequest(OpCode.READ, 1, fid, 0, 64),
+            IoRequest(OpCode.WRITE, 2, fid, 0, 4, b"abcd"),
+        ]
+        submit(env, engine, requests)
+        for name in (
+            "offloaded",
+            "bounced_ring_full",
+            "bounced_no_buffer",
+            "bounced_off_func",
+        ):
+            assert type(getattr(engine, name)) is int
+        assert engine.offloaded == 1
+        assert engine.bounced_off_func == 1
+
+    def test_steering_counters_are_read_only(self):
+        # The counters are properties over AtomicCounters now; writing
+        # through the old public attribute must fail loudly instead of
+        # silently shadowing the atomic.
+        env, engine, _fid = make_engine()
+        with pytest.raises(AttributeError):
+            engine.offloaded = 7
+        with pytest.raises(AttributeError):
+            engine.bounced_ring_full = 7
+
+    def test_in_flight_drains_to_zero(self):
+        env, engine, fid = make_engine()
+        requests = [
+            IoRequest(OpCode.READ, i, fid, 0, 64) for i in range(8)
+        ]
+        accepted, responses = submit(env, engine, requests)
+        assert all(accepted) and len(responses) == 8
+        assert engine.in_flight == 0
+
 
 class TestTrafficDirector:
     def make_director(self, director_cores=1, engine=True, rdma=False):

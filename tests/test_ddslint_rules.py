@@ -1,0 +1,199 @@
+"""ddslint self-tests: fixtures with known violations, exact positions.
+
+Each fixture under ``tests/fixtures/ddslint/`` encodes one rule family;
+the tests assert the *exact* (rule, line) inventory so a checker change
+that silently widens or narrows a rule fails loudly.  Suppression
+machinery (inline, line-above, file-level, ``_DDSLINT_EXEMPT``) is
+covered by the ``suppressed.py`` fixture.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import DEFAULT_CONFIG, RULES, lint_source
+from repro.analysis.driver import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "ddslint"
+
+SHARED = frozenset({"shared"})
+INSTRUMENTED = frozenset({"instrumented"})
+SIM = frozenset({"sim"})
+
+
+def _lint(fixture, classes):
+    source = (FIXTURES / fixture).read_text(encoding="utf-8")
+    return lint_source(source, fixture, classes)
+
+
+def _inventory(findings):
+    return sorted((f.rule, f.line) for f in findings if not f.suppressed)
+
+
+# ----------------------------------------------------------------------
+# DDS101 / DDS102: atomicity
+# ----------------------------------------------------------------------
+def test_shared_bad_exact_rules_and_lines():
+    findings = _lint("shared_bad.py", SHARED)
+    assert _inventory(findings) == [
+        ("DDS101", 12),  # self.count += 1
+        ("DDS101", 16),  # self.count = self.count + ...
+        ("DDS102", 13),  # self.items.append(item)
+        ("DDS102", 19),  # del self.table[key]
+        ("DDS102", 23),  # mutation through the local alias `bucket`
+    ]
+
+
+def test_lock_guarded_mutation_is_excused():
+    findings = _lint("shared_bad.py", SHARED)
+    assert all(f.line != 27 for f in findings)  # with self._lock: append
+
+
+def test_messages_name_class_method_and_attribute():
+    findings = _lint("shared_bad.py", SHARED)
+    by_line = {f.line: f for f in findings}
+    assert "'count'" in by_line[12].message
+    assert "BadQueue.push" in by_line[12].message
+    assert "'items'" in by_line[23].message
+
+
+# ----------------------------------------------------------------------
+# DDS201: yield-point coverage
+# ----------------------------------------------------------------------
+def test_instrumented_bad_flags_uncovered_and_late_yield():
+    findings = _lint("instrumented_bad.py", INSTRUMENTED)
+    assert _inventory(findings) == [
+        ("DDS201", 15),  # no yield_point in the function
+        ("DDS201", 18),  # yield_point only after the access
+    ]
+
+
+def test_yield_point_before_access_satisfies_dds201():
+    findings = _lint("instrumented_bad.py", INSTRUMENTED)
+    assert all(f.line != 12 for f in findings)
+
+
+def test_shared_bad_under_instrumentation_needs_yields_even_under_lock():
+    # DDS201 is orthogonal to DDS101/102 excuses: the lock-guarded
+    # append at line 27 still needs a schedule point for the harness.
+    findings = _lint("shared_bad.py", INSTRUMENTED)
+    assert _inventory(findings) == [
+        ("DDS201", 12),
+        ("DDS201", 13),
+        ("DDS201", 16),
+        ("DDS201", 19),
+        ("DDS201", 23),
+        ("DDS201", 27),
+    ]
+
+
+# ----------------------------------------------------------------------
+# DDS301 / DDS302 / DDS303: DES determinism
+# ----------------------------------------------------------------------
+def test_sim_bad_exact_rules_and_lines():
+    findings = _lint("sim_bad.py", SIM)
+    assert _inventory(findings) == [
+        ("DDS301", 10),  # time.time()
+        ("DDS301", 14),  # datetime.now()
+        ("DDS302", 18),  # random.random()
+        ("DDS302", 26),  # os.urandom(8)
+        ("DDS303", 30),  # builtin hash()
+        ("DDS303", 34),  # iterating a set literal
+    ]
+
+
+def test_seeded_random_instantiation_is_allowed():
+    findings = _lint("sim_bad.py", SIM)
+    assert all(f.line != 22 for f in findings)  # random.Random(seed)
+
+
+def test_determinism_rules_only_apply_to_sim_modules():
+    assert _lint("sim_bad.py", SHARED) == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_suppressed_fixture_has_no_active_findings():
+    findings = _lint("suppressed.py", frozenset({"shared", "sim"}))
+    assert _inventory(findings) == []
+
+
+def test_suppressed_findings_are_retained_with_justifications():
+    findings = _lint("suppressed.py", frozenset({"shared", "sim"}))
+    suppressed = {
+        (f.rule, f.line): f.justification
+        for f in findings
+        if f.suppressed
+    }
+    assert suppressed == {
+        ("DDS101", 14): "test-only counter",
+        ("DDS101", 18): "suppression on the line above",
+        ("DDS301", 22): "replay tooling; the wall clock is data",
+    }
+
+
+def test_exempt_declaration_silences_the_field_entirely():
+    # `tail` is in _DDSLINT_EXEMPT: not even a suppressed finding.
+    findings = _lint("suppressed.py", frozenset({"shared", "sim"}))
+    assert all(f.line != 11 for f in findings)
+
+
+def test_suppression_comment_does_not_cover_other_rules():
+    source = (
+        "class C:\n"
+        "    def f(self):\n"
+        "        self.x += 1  # ddslint: disable=DDS102 -- wrong rule\n"
+    )
+    findings = lint_source(source, "inline.py", SHARED)
+    assert _inventory(findings) == [("DDS101", 3)]
+
+
+# ----------------------------------------------------------------------
+# clean module, classification, CLI plumbing
+# ----------------------------------------------------------------------
+def test_clean_fixture_is_clean_under_every_class():
+    classes = frozenset({"shared", "instrumented", "sim"})
+    assert _lint("clean.py", classes) == []
+
+
+@pytest.mark.parametrize(
+    "relpath, expected",
+    [
+        ("structures/rings.py", {"shared", "instrumented"}),
+        ("structures/cuckoo.py", {"shared", "instrumented"}),
+        ("core/offload_engine.py", {"shared", "instrumented"}),
+        ("topology/sharding.py", {"shared"}),
+        ("net/packet.py", {"sim"}),
+        ("hardware/cpu.py", {"sim"}),
+        ("baselines/__init__.py", {"sim"}),
+        ("sim/rng.py", set()),  # implements the blessed idiom
+        ("core/server.py", set()),
+        ("analysis/driver.py", set()),
+    ],
+)
+def test_default_config_classification(relpath, expected):
+    assert DEFAULT_CONFIG.classes_for(relpath) == frozenset(expected)
+
+
+def test_rule_registry_covers_every_reported_rule():
+    rules = set()
+    for fixture, classes in [
+        ("shared_bad.py", SHARED | INSTRUMENTED),
+        ("sim_bad.py", SIM),
+    ]:
+        rules.update(f.rule for f in _lint(fixture, classes))
+    assert rules <= set(RULES)
+
+
+def test_cli_exits_two_on_missing_path(tmp_path, capsys):
+    assert main([str(tmp_path / "does-not-exist")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_exits_two_on_syntax_error(tmp_path, capsys):
+    bad = tmp_path / "repro" / "structures"
+    bad.mkdir(parents=True)
+    (bad / "broken.py").write_text("def broken(:\n")
+    assert main([str(tmp_path / "repro")]) == 2
+    assert "parse error" in capsys.readouterr().err

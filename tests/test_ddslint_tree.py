@@ -1,0 +1,48 @@
+"""The ddslint gate: the live ``src/repro`` tree must lint clean.
+
+This is the test-tier mirror of the CI job that runs
+``python -m repro.analysis src/repro``: zero active findings, and every
+suppressed finding is part of a small, justified, explicitly-inventoried
+baseline (so a new suppression is a reviewed diff here, not silent).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_tree
+from repro.analysis.driver import main
+
+pytestmark = pytest.mark.ddslint
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def test_live_tree_has_no_active_findings():
+    active = [f for f in lint_tree(SRC) if not f.suppressed]
+    assert active == [], "\n".join(f.format() for f in active)
+
+
+def test_live_tree_baseline_is_small_and_justified():
+    suppressed = [f for f in lint_tree(SRC) if f.suppressed]
+    assert all(f.justification for f in suppressed)
+    # The full baseline: the three wrap-around writes in the shared
+    # _ByteRing._write_at helper, whose callers own the byte range and
+    # yield before invoking it.  Growing this inventory is a reviewed
+    # decision, not a drive-by.
+    inventory = sorted(
+        (Path(f.path).name, f.rule) for f in suppressed
+    )
+    assert inventory == [("rings.py", "DDS201")] * 3
+
+
+def test_cli_exits_zero_on_live_tree(capsys):
+    assert main([str(SRC)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_show_suppressed_prints_justifications(capsys):
+    assert main([str(SRC), "--show-suppressed"]) == 0
+    out = capsys.readouterr().out
+    assert "[suppressed]" in out
+    assert "callers yield before invoking" in out

@@ -12,7 +12,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.concurrency import Scenario, explore_bounded, explore_random
+from repro.concurrency import (
+    ExplorationFailure,
+    Scenario,
+    explore_bounded,
+    explore_random,
+)
+from repro.concurrency.hooks import yield_point
 from repro.concurrency.invariants import ResponseBufferChecker
 from repro.structures import ResponseBuffer, ResponseStatus
 
@@ -101,6 +107,73 @@ def test_response_buffer_bounded_exploration():
         max_schedules=300,
     )
     assert stats.schedules > 0
+
+
+# ----------------------------------------------------------------------
+# take_delivery lost-response regression (found by ddslint, PR 4)
+# ----------------------------------------------------------------------
+class _BuggySnapshotBuffer(ResponseBuffer):
+    """``take_delivery`` as originally shipped: snapshot, then clear.
+
+    ddslint flagged the compound (DDS102 on ``_buffered``, and DDS201:
+    no schedule point between the two halves, so the PR 2 harness could
+    never interleave there).  A ``harvest`` landing between
+    ``list(self._buffered)`` and ``.clear()`` has its responses wiped
+    without ever being returned: they are never delivered, and TailC can
+    never catch TailB.  The shipped fix drains with ``popleft`` so only
+    returned responses leave the deque.
+    """
+
+    def take_delivery(self, force=False):
+        if not force and not self.should_deliver():
+            return []
+        yield_point("resp.deliver", ("resp", id(self), "buffered"))
+        batch = list(self._buffered)
+        yield_point("resp.deliver", ("resp", id(self), "buffered"))
+        self._buffered.clear()
+        return batch
+
+
+def _snapshot_scenario(buffer_cls, request_count=4):
+    def build():
+        buffer = buffer_cls(4096, delivery_batch=1)
+        for request_id in range(request_count):
+            response = buffer.allocate(request_id, 24)
+            assert response is not None
+            response.complete(ResponseStatus.SUCCESS, b"d" * 24)
+        delivered = []
+
+        def harvester():
+            for _poll in range(request_count):
+                buffer.harvest()
+
+        def deliverer():
+            for _poll in range(request_count):
+                delivered.extend(buffer.take_delivery(force=True))
+
+        def on_done():
+            buffer.harvest()
+            delivered.extend(buffer.take_delivery(force=True))
+            assert sorted(r.request_id for r in delivered) == list(
+                range(request_count)
+            ), "a buffered response was discarded without delivery"
+
+        tasks = [("harvest", harvester), ("deliver", deliverer)]
+        return (tasks, lambda _record=None: None, on_done)
+
+    return Scenario("response-snapshot-delivery", build)
+
+
+def test_snapshot_take_delivery_loses_responses_fail_before():
+    with pytest.raises(ExplorationFailure):
+        explore_random(
+            _snapshot_scenario(_BuggySnapshotBuffer), schedules=400
+        )
+
+
+def test_popleft_take_delivery_survives_same_schedules_pass_after():
+    stats = explore_random(_snapshot_scenario(ResponseBuffer), schedules=400)
+    assert stats.schedules == 400
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,27 @@ class TestFiveTuple:
         }
         assert len(hashes) > 1
 
+    def test_rss_hash_is_process_stable(self):
+        """Golden value: blake2b keying, not the salted builtin hash.
+
+        The old implementation hashed a frozenset with ``hash()``, so
+        core and shard placement changed with PYTHONHASHSEED between
+        runs (flagged by ddslint as DDS303).  This value must never
+        depend on the interpreter invocation.
+        """
+        flow = FiveTuple("10.0.0.1", 40000, "10.0.0.2", 5000)
+        assert flow.rss_hash(1 << 30) == 134748005
+        assert flow.reversed().rss_hash(1 << 30) == 134748005
+
+    def test_rss_hash_agrees_with_shard_steering(self):
+        """flow_shard delegates to rss_hash: one keying for both."""
+        from repro.topology.sharding import flow_shard
+
+        for port in range(2000, 2050):
+            flow = FiveTuple("3.3.3.3", port, "4.4.4.4", 5000)
+            for shards in (2, 3, 8):
+                assert flow_shard(flow, shards) == flow.rss_hash(shards)
+
 
 class TestAppSignature:
     def test_paper_example_matches_any_client(self):

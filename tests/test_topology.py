@@ -170,6 +170,37 @@ class TestConsistentHashShardMap:
             assert flow_shard(FLOW, shards) == \
                 flow_shard(FLOW.reversed(), shards)
 
+    def test_flow_shard_matches_rss_hash(self):
+        # One keying for ingress RSS and shard steering: flow_shard is
+        # rss_hash with the shard count as the bucket count.
+        for port in range(41_000, 41_040):
+            flow = FiveTuple("10.0.0.2", port, "10.0.0.1", 5000)
+            for shards in (2, 3, 4):
+                assert flow_shard(flow, shards) == flow.rss_hash(shards)
+
+
+class TestShardedSteeringStats:
+    def test_per_shard_loads_track_steering_decisions(self):
+        cluster = build_cluster("dds-offload-shard2", db_bytes=4 << 20)
+        steering = cluster.server._steering
+        assert steering.messages_steered == 0
+        flows = [
+            FiveTuple("10.0.0.2", port, "10.0.0.1", 5000)
+            for port in range(42_000, 42_012)
+        ]
+        expected = [0, 0]
+        for request_id, flow in enumerate(flows, start=1):
+            read = IoRequest(
+                OpCode.READ, request_id, cluster.file_id, 4096, 128
+            )
+            responses = []
+            done = cluster.server.submit(flow, [read], responses.append)
+            cluster.env.run(until=done)
+            assert responses and responses[0].ok
+            expected[flow_shard(flow, 2)] += 1
+        assert steering.shard_loads == expected
+        assert steering.messages_steered == len(flows)
+
 
 class TestMirrorFilesystem:
     def test_namespace_ids_and_content_preserved(self):
