@@ -100,6 +100,7 @@ class LintConfig:
         "hardware/",
         "net/",
         "baselines/",
+        "faults/",
     )
     #: Files inside sim prefixes that *implement* the blessed idioms and
     #: are therefore exempt from the determinism rules (the seeded RNG

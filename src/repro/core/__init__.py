@@ -20,14 +20,20 @@ _LAZY = {
     "ClientConfig": "client",
     "ClientResult": "client",
     "WorkloadClient": "client",
+    "DdsClient": "client",
+    "RetryPolicy": "retry",
+    "CircuitBreaker": "retry",
+    "RequestDedup": "dedup",
 }
 
 __all__ = [
     "BaselineServer",
+    "CircuitBreaker",
     "ClientConfig",
     "ClientResult",
     "Context",
     "ContextStatus",
+    "DdsClient",
     "DdsFileLibrary",
     "DdsLibraryServer",
     "DdsOffloadServer",
@@ -42,6 +48,8 @@ __all__ = [
     "PipelineServer",
     "PollMode",
     "ReadOp",
+    "RequestDedup",
+    "RetryPolicy",
     "RingTransferModel",
     "RingTransferResult",
     "StorageServerBase",

@@ -12,16 +12,17 @@ is accounted against a client-side pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, Generator, List, Optional, Set
 
 from ..hardware.cpu import CpuPool
 from ..hardware.specs import HOST_CPU
 from ..net.packet import FiveTuple
 from ..sim import Environment, SeededRng
 from .messages import IoRequest, IoResponse, OpCode
+from .retry import RetryPolicy
 from .server import StorageServerBase
 
-__all__ = ["ClientConfig", "ClientResult", "WorkloadClient"]
+__all__ = ["ClientConfig", "ClientResult", "WorkloadClient", "DdsClient"]
 
 
 @dataclass
@@ -47,6 +48,11 @@ class ClientResult:
     elapsed: float
     latencies: List[float] = field(repr=False, default_factory=list)
     client_cores: float = 0.0
+    #: Retry-path accounting (all zero for clients without a policy).
+    retries: int = 0
+    failed_requests: int = 0
+    duplicate_responses: int = 0
+    error_responses: int = 0
 
     def percentile(self, p: float) -> float:
         """Latency percentile, p in [0, 100]."""
@@ -83,6 +89,8 @@ class WorkloadClient:
         file_id: int,
         config: Optional[ClientConfig] = None,
         request_factory=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        observer=None,
     ) -> None:
         self.env = env
         self.server = server
@@ -91,6 +99,14 @@ class WorkloadClient:
         # Optional override: (request_id, rng) -> IoRequest.  The KV and
         # page-server clients generate application requests this way.
         self.request_factory = request_factory
+        #: With a policy, unanswered requests are re-sent with the same
+        #: request id after per-attempt timeouts (exponential backoff +
+        #: seeded jitter); without one the client trusts every message
+        #: to be answered — the loss-free fast path every benchmark uses.
+        self.retry_policy = retry_policy
+        #: Optional chaos observer: ``on_issue(request)``,
+        #: ``on_ack(request, response)``, ``on_give_up(request)``.
+        self.observer = observer
         self.rng = SeededRng(self.config.seed)
         self.client_pool = CpuPool(env, HOST_CPU, name="client")
         self._flows = [
@@ -101,6 +117,16 @@ class WorkloadClient:
         self._issue_times: dict = {}
         self._latencies: List[float] = []
         self._completed = 0
+        # Retry-path state: which request ids have been answered or
+        # given up on (duplicate responses are detected against these).
+        self._answered: Set[int] = set()
+        self._failed: Set[int] = set()
+        self._requests_by_id: Dict[int, IoRequest] = {}
+        self._finished = None
+        self.retries = 0
+        self.failed_requests = 0
+        self.duplicate_responses = 0
+        self.error_responses = 0
 
     # ------------------------------------------------------------------
     # request generation
@@ -133,6 +159,8 @@ class WorkloadClient:
     # ------------------------------------------------------------------
     def run(self) -> ClientResult:
         """Drive the workload to completion and return measurements."""
+        if self.retry_policy is not None:
+            return self._run_with_retries()
         config = self.config
         finished = self.env.event()
         outstanding = [0]
@@ -191,4 +219,171 @@ class WorkloadClient:
             elapsed=elapsed,
             latencies=self._latencies,
             client_cores=self.client_pool.cores_consumed(elapsed),
+        )
+
+    # ------------------------------------------------------------------
+    # retry path (chaos deployments; the default path above stays
+    # byte-identical for the pinned benchmark figures)
+    # ------------------------------------------------------------------
+    def _run_with_retries(self) -> ClientResult:
+        config = self.config
+        self._finished = self.env.event()
+        outstanding = [0]
+        waiters: List = []
+
+        def release() -> None:
+            outstanding[0] -= 1
+            if waiters:
+                waiters.pop(0).succeed()
+
+        def generator() -> Generator:
+            spec = self.server.client_spec
+            issued = 0
+            message_index = 0
+            mean_gap = config.batch / config.offered_iops
+            while issued < config.total_requests:
+                yield self.env.timeout(self.rng.exponential(mean_gap))
+                if outstanding[0] >= config.max_outstanding:
+                    gate = self.env.event()
+                    waiters.append(gate)
+                    yield gate
+                count = min(config.batch, config.total_requests - issued)
+                requests = [self._make_request() for _ in range(count)]
+                issued += count
+                for request in requests:
+                    self._requests_by_id[request.request_id] = request
+                    if self.observer is not None:
+                        self.observer.on_issue(request)
+                flow = self._flows[message_index % len(self._flows)]
+                message_index += 1
+                outstanding[0] += 1
+                self.env.process(
+                    self._send_with_retries(spec, flow, requests, release)
+                )
+
+        start = self.env.now
+        self.env.process(generator())
+        self.env.run(until=self._finished)
+        elapsed = self.env.now - start
+        achieved = self._completed / elapsed if elapsed > 0 else 0.0
+        return ClientResult(
+            achieved_iops=achieved,
+            elapsed=elapsed,
+            latencies=self._latencies,
+            client_cores=self.client_pool.cores_consumed(elapsed),
+            retries=self.retries,
+            failed_requests=self.failed_requests,
+            duplicate_responses=self.duplicate_responses,
+            error_responses=self.error_responses,
+        )
+
+    def _on_retry_response(self, response: IoResponse) -> None:
+        rid = response.request_id
+        if rid in self._answered or rid in self._failed:
+            # A chaos-duplicated delivery, or a dedup replay racing the
+            # original: client-side dedup drops it.
+            self.duplicate_responses += 1
+            return
+        if not response.ok:
+            # Transient failure (device error): leave the request
+            # unanswered so the retry loop re-sends it.
+            self.error_responses += 1
+            return
+        self._answered.add(rid)
+        issued = self._issue_times.pop(rid, None)
+        if issued is not None:
+            # Issue times are per-attempt: this measures the attempt
+            # that actually got answered, not the first try.
+            self._latencies.append(self.env.now - issued)
+        if self.observer is not None:
+            request = self._requests_by_id.get(rid)
+            if request is not None:
+                self.observer.on_ack(request, response)
+        self._requests_by_id.pop(rid, None)
+        self._completed += 1
+        self._check_finished()
+
+    def _check_finished(self) -> None:
+        settled = self._completed + len(self._failed)
+        if settled >= self.config.total_requests:
+            if not self._finished.triggered:
+                self._finished.succeed()
+
+    def _send_with_retries(
+        self,
+        spec,
+        flow: FiveTuple,
+        requests: List[IoRequest],
+        release: Callable[[], None],
+    ) -> Generator:
+        """Send one message; re-send unanswered requests with backoff."""
+        policy = self.retry_policy
+        pending = list(requests)
+        for attempt in range(policy.max_attempts):
+            pending = [
+                r for r in pending if r.request_id not in self._answered
+            ]
+            if not pending:
+                release()
+                return
+            now = self.env.now
+            for request in pending:
+                self._issue_times[request.request_id] = now
+            if attempt:
+                self.retries += len(pending)
+            message_bytes = sum(r.wire_size for r in pending)
+            self.client_pool.charge(
+                spec.per_message_core_time
+                + message_bytes * spec.per_byte_core_time
+            )
+            done = self.server.submit(flow, pending, self._on_retry_response)
+            timeout = self.env.timeout(policy.timeout)
+            yield self.env.any_of([done, timeout])
+            pending = [
+                r for r in pending if r.request_id not in self._answered
+            ]
+            if not pending:
+                release()
+                return
+            if attempt + 1 < policy.max_attempts:
+                yield self.env.timeout(policy.backoff(attempt, self.rng))
+        for request in pending:
+            self._failed.add(request.request_id)
+            self._issue_times.pop(request.request_id, None)
+            self._requests_by_id.pop(request.request_id, None)
+            if self.observer is not None:
+                self.observer.on_give_up(request)
+        self.failed_requests += len(pending)
+        self._check_finished()
+        release()
+
+
+class DdsClient(WorkloadClient):
+    """A :class:`WorkloadClient` with retries on by default.
+
+    The paper's benchmark client assumes a loss-free fabric; this is the
+    client a chaos scenario uses — per-message attempt timeouts,
+    exponential backoff with seeded jitter, and client-side response
+    dedup, so requests issued into a fault window eventually succeed
+    (or fail loudly after ``max_attempts``).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        server: StorageServerBase,
+        file_id: int,
+        config: Optional[ClientConfig] = None,
+        request_factory=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        observer=None,
+    ) -> None:
+        super().__init__(
+            env,
+            server,
+            file_id,
+            config,
+            request_factory,
+            retry_policy=retry_policy or RetryPolicy(),
+            observer=observer,
         )

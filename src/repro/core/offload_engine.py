@@ -113,6 +113,11 @@ class OffloadEngine:
         self._head = AtomicCounter(0)
         self._tail = AtomicCounter(0)
         self._completing = False  # re-entrancy guard for _complete_ready
+        self._crashed = False
+        # Bumped on every crash: completion walkers that resumed from a
+        # yield across a crash observe the bump and stand down instead
+        # of touching the (cleared) ring.
+        self._epoch = AtomicCounter(0)
         self._notify: Store = Store(env)
         self._offloaded = AtomicCounter(0)
         self._bounced_ring_full = AtomicCounter(0)
@@ -144,6 +149,52 @@ class OffloadEngine:
         return self._bounced_off_func.load()
 
     # ------------------------------------------------------------------
+    # crash / restart (chaos layer)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """True while the engine is down (intake rejects everything)."""
+        return self._crashed
+
+    @property
+    def epoch(self) -> int:
+        """Crash generation: bumped once per :meth:`crash`."""
+        return self._epoch.load()
+
+    def crash(self) -> int:
+        """Kill the engine: every in-flight context is lost, unanswered.
+
+        Models a DPU software crash — the context ring, the leased DMA
+        buffers, and the pending responses all vanish.  Returns how many
+        contexts were dropped (their clients recover via retry).  The
+        engine object itself survives so :meth:`restart` can bring it
+        back with an empty ring.
+        """
+        if self._crashed:
+            raise RuntimeError("offload engine is already crashed")
+        self._crashed = True
+        self._epoch.fetch_add(1)
+        dropped = 0
+        for slot in range(self.context_slots):
+            context = self._ring[slot]
+            if context is None:
+                continue
+            yield_point("engine.ctx_slot", ("engine.ring", id(self), slot))
+            self._ring[slot] = None
+            if context.buffer is not None:
+                context.buffer.release()
+            dropped += 1
+        # Head catches up to tail: the ring restarts empty.
+        self._head.store(self._tail.load())
+        return dropped
+
+    def restart(self) -> None:
+        """Bring a crashed engine back with an empty context ring."""
+        if not self._crashed:
+            raise RuntimeError("offload engine is not crashed")
+        self._crashed = False
+
+    # ------------------------------------------------------------------
     # request intake (runs on the director's core)
     # ------------------------------------------------------------------
     @property
@@ -156,8 +207,13 @@ class OffloadEngine:
         ``respond(IoResponse)`` is invoked (via the traffic director) when
         this request's turn at the head of the context ring comes up.
         """
+        if self._crashed:
+            return False  # dead engine: no cost, immediate host fallback
         yield from self._complete_ready()
         yield from self.core.execute(self.OFFFUNC_COST)
+        if self._crashed:
+            # The engine died while this intake was on the core.
+            return False
         read_op = self.callbacks.off_func(request, self.cache_table)
         if read_op is None:
             self._bounced_off_func.fetch_add(1)
@@ -219,6 +275,7 @@ class OffloadEngine:
         if self._completing:
             return
         self._completing = True
+        epoch = self._epoch.load()
         try:
             while self._head.load() < self._tail.load():
                 head = self._head.load()
@@ -233,6 +290,11 @@ class OffloadEngine:
                     yield from self.core.execute(
                         self.COPY_COST_PER_BYTE * len(context.data)
                     )
+                if self._epoch.load() != epoch:
+                    # The engine crashed across the yield: the ring was
+                    # cleared (and this context's buffer released) under
+                    # us.  Its response dies with the engine.
+                    return
                 response = IoResponse(
                     context.request.request_id,
                     context.status is ContextStatus.COMPLETE,

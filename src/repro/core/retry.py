@@ -1,0 +1,126 @@
+"""Client retry policy and the director's host-fallback circuit breaker.
+
+Two small, deterministic state machines the chaos layer leans on:
+
+* :class:`RetryPolicy` — per-message attempt timeouts plus exponential
+  backoff with seeded jitter.  The jitter draw comes from the caller's
+  :class:`~repro.sim.rng.SeededRng`, so retry schedules are part of the
+  run's deterministic replay.
+* :class:`CircuitBreaker` — while a shard's offload engine is down,
+  probing it on every request only adds director-core work before the
+  inevitable host fallback.  The breaker opens after a burst of
+  engine-crash failures, sends traffic straight to the per-shard host
+  path, and half-opens after ``recovery_time`` to probe with a single
+  request.  Transitions are recorded with their sim times, so a chaos
+  run can assert the breaker's trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim import Environment, SeededRng
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout / backoff knobs for one client's request retries."""
+
+    #: Seconds to wait for a message's responses before retrying.
+    timeout: float = 400e-6
+    #: Total attempts (first try included) before a request is failed.
+    max_attempts: int = 8
+    #: First backoff delay; doubles (``factor``) up to ``cap``.
+    backoff_base: float = 100e-6
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5e-3
+    #: Uniform jitter as a fraction of the computed backoff.
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_cap")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, rng: SeededRng) -> float:
+        """Delay before retry number ``attempt`` (0-based), jittered."""
+        delay = min(
+            self.backoff_base * self.backoff_factor**attempt,
+            self.backoff_cap,
+        )
+        if self.jitter > 0 and delay > 0:
+            delay += self.jitter * delay * rng.random()
+        return delay
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over the offload engine.
+
+    ``allow()`` is consulted before each engine probe; failures that
+    stem from a crashed engine (not ordinary capacity bounces) feed
+    ``record_failure()``.  All timing uses the simulation clock.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        env: Environment,
+        failure_threshold: int = 4,
+        recovery_time: float = 500e-6,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time <= 0:
+            raise ValueError("recovery_time must be positive")
+        self.env = env
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.state = self.CLOSED
+        self.failures = 0
+        self.times_opened = 0
+        self.rejected = 0
+        self._retry_at = 0.0
+        #: (sim time, new state) — the breaker's deterministic trajectory.
+        self.transitions: List[Tuple[float, str]] = []
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self.transitions.append((self.env.now, state))
+
+    def allow(self) -> bool:
+        """May the next request probe the engine?"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN and self.env.now >= self._retry_at:
+            # One probe flies; everything else keeps falling back until
+            # the probe reports success.
+            self._transition(self.HALF_OPEN)
+            return True
+        self.rejected += 1
+        return False
+
+    def record_success(self) -> None:
+        if self.state != self.CLOSED:
+            self._transition(self.CLOSED)
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == self.HALF_OPEN or (
+            self.state == self.CLOSED
+            and self.failures >= self.failure_threshold
+        ):
+            self.times_opened += 1
+            self._retry_at = self.env.now + self.recovery_time
+            self._transition(self.OPEN)

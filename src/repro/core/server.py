@@ -53,8 +53,10 @@ from ..topology.stages import (
     WireIngress,
 )
 from .api import OffloadCallbacks, passthrough_callbacks
+from .dedup import RequestDedup
 from .messages import IoRequest, IoResponse
 from .offload_engine import OffloadEngine
+from .retry import CircuitBreaker
 from .traffic_director import TrafficDirector
 
 __all__ = [
@@ -82,6 +84,12 @@ class StorageServerBase:
         self.link = link
         self.host_pool = CpuPool(env, HOST_CPU)
         self.requests_served = 0
+        #: Chaos hook: a :class:`~repro.faults.netem.NetworkChaos` gates
+        #: every wire crossing while a NIC fault window is open.
+        self.network_chaos = None
+        #: Resilience hook: request-id dedup making client retries
+        #: idempotent (installed by :meth:`enable_resilience`).
+        self.dedup = None
 
     # ------------------------------------------------------------------
     # client-facing API
@@ -107,7 +115,29 @@ class StorageServerBase:
             if remaining[0] == 0:
                 done.succeed(responses)
 
-        self.env.process(self._ingress(flow, list(requests), arrived))
+        chaos = self.network_chaos
+        if chaos is None:
+            self.env.process(self._ingress(flow, list(requests), arrived))
+            return done
+        # A NIC fault window is open: both directions of the wire pass
+        # through the chaos gate.  A dropped (or corrupted) request never
+        # reaches the server, so ``done`` never fires — the client's
+        # retry timer is the only recovery path.
+        deliver = chaos.wrap_response(arrived)
+        copies = chaos.ingress_copies()
+        if copies == 0:
+            return done
+        if copies < 0:  # reordered: deliver once, late
+
+            def start() -> None:
+                self.env.process(self._ingress(flow, list(requests), deliver))
+
+            delayed = chaos.delayed(start)
+            delayed.__name__ = "chaos:reorder-request"
+            self.env.process(delayed)
+            return done
+        for _copy in range(copies):
+            self.env.process(self._ingress(flow, list(requests), deliver))
         return done
 
     def _ingress(
@@ -117,6 +147,21 @@ class StorageServerBase:
         arrived: Callable,
     ) -> Generator:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # resilience (chaos deployments opt in; figures never pay for it)
+    # ------------------------------------------------------------------
+    def enable_resilience(
+        self,
+        dedup_capacity: int = 1 << 16,
+        breaker_threshold: int = 4,
+        breaker_recovery: float = 500e-6,
+    ) -> RequestDedup:
+        """Install request-id dedup (and, where the deployment has an
+        offload engine, a host-fallback circuit breaker).  Returns the
+        dedup table so scenarios can audit it after the run."""
+        self.dedup = RequestDedup(self.env, capacity=dedup_capacity)
+        return self.dedup
 
     # ------------------------------------------------------------------
     # accounting
@@ -219,10 +264,31 @@ class PipelineServer(StorageServerBase):
             )
             self.requests_served += len(requests)
             return
+        replayed: List[IoResponse] = []
+        if self.dedup is not None:
+            fresh: List[IoRequest] = []
+            for request in requests:
+                cached = self.dedup.cached(request.request_id)
+                if cached is not None:
+                    replayed.append(cached)
+                elif self.dedup.begin(request):
+                    fresh.append(request)
+            requests = fresh
+            if not requests and not replayed:
+                return
         served = [
             self.env.process(self._execution.serve(r)) for r in requests
         ]
-        responses: List[IoResponse] = yield self.env.all_of(served)
+        responses: List[IoResponse] = (
+            (yield self.env.all_of(served)) if served else []
+        )
+        if self.dedup is not None:
+            for response in responses:
+                if response.ok:
+                    self.dedup.complete(response.request_id, response)
+                else:
+                    self.dedup.abandon(response.request_id)
+            responses = replayed + responses
         response_bytes = sum(r.wire_size for r in responses)
         for stage in self._outbound:
             yield from stage.outbound(flow, response_bytes)
@@ -399,6 +465,22 @@ class DdsOffloadServer(PipelineServer):
         self.library = backend.library
         self.host_side = backend.host_side
         backend.start()
+
+    def enable_resilience(
+        self,
+        dedup_capacity: int = 1 << 16,
+        breaker_threshold: int = 4,
+        breaker_recovery: float = 500e-6,
+    ) -> RequestDedup:
+        """Dedup on the director plus a host-fallback circuit breaker."""
+        dedup = super().enable_resilience(dedup_capacity)
+        self.director.dedup = dedup
+        self.director.breaker = CircuitBreaker(
+            self.env,
+            failure_threshold=breaker_threshold,
+            recovery_time=breaker_recovery,
+        )
+        return dedup
 
     def _host_handler(
         self, requests: Sequence[IoRequest], respond: Callable

@@ -37,6 +37,8 @@ from .offload_engine import OffloadEngine
 
 if TYPE_CHECKING:
     from ..topology.sharding import ConsistentHashShardMap
+    from .dedup import RequestDedup
+    from .retry import CircuitBreaker
 
 __all__ = ["TrafficDirector"]
 
@@ -96,12 +98,24 @@ class TrafficDirector:
         #: Sibling directors indexed by shard id; the sharded deployment
         #: assigns this once every shard is constructed.
         self.peers: List["TrafficDirector"] = []
+        #: Optional resilience hooks (chaos deployments install these):
+        #: request-id dedup shared across the deployment's directors, and
+        #: a circuit breaker steering around a crashed engine.
+        self.dedup: Optional["RequestDedup"] = None
+        self.breaker: Optional["CircuitBreaker"] = None
+        #: False while this director's DPU is dead: arriving messages
+        #: black-hole and in-flight responses are suppressed (a crashed
+        #: DPU cannot transmit).
+        self.alive = True
         self.messages_seen = 0
         self.requests_offloaded = 0
         self.requests_to_host = 0
         self.unmatched_messages = 0
         self.requests_relayed = 0
         self.relayed_messages = 0
+        self.dropped_messages = 0
+        self.dropped_responses = 0
+        self.replayed_responses = 0
 
     # ------------------------------------------------------------------
     # receive path
@@ -123,6 +137,11 @@ class TrafficDirector:
         the signature but cannot be offloaded are forwarded to the host
         handler (paying the Arm-core forward hop, §5.3).
         """
+        if not self.alive:
+            # Dead DPU: packets to it vanish; clients recover by retry
+            # (and the sharded ingress reconnects them to a live shard).
+            self.dropped_messages += 1
+            return
         if not self.signature.matches(flow):
             # Hardware signature mismatch: line-rate forward to the host
             # with no DPU core involvement at all; the host responds
@@ -195,6 +214,9 @@ class TrafficDirector:
         The owning shard pays receive + OffPred and answers the client
         directly (direct server return) through its own transmit path.
         """
+        if not self.alive:
+            self.dropped_messages += 1
+            return
         core = self.core_for(flow)
         self.relayed_messages += 1
         message_bytes = sum(r.wire_size for r in requests)
@@ -213,14 +235,28 @@ class TrafficDirector:
         respond: Callable,
     ) -> Generator:
         """OffPred split: offload engine first, host fallback second."""
+        wrapped = self._response_sender(flow, respond)
+        if self.dedup is not None:
+            requests = self._dedup_intake(requests, wrapped)
+            if not requests:
+                return
+            wrapped = self._recording_sender(wrapped)
         host_requests, dpu_requests = self.callbacks.off_pred(
             requests, self.cache_table
         )
-        wrapped = self._response_sender(flow, respond)
         for request in dpu_requests:
             accepted = False
-            if self.engine is not None:
+            if self.engine is not None and (
+                self.breaker is None or self.breaker.allow()
+            ):
                 accepted = yield from self.engine.handle(request, wrapped)
+                if self.breaker is not None:
+                    if accepted:
+                        self.breaker.record_success()
+                    elif self.engine.crashed:
+                        # Only crash-induced rejections trip the breaker;
+                        # ordinary capacity bounces are healthy behaviour.
+                        self.breaker.record_failure()
             if accepted:
                 self.requests_offloaded += 1
             else:
@@ -236,6 +272,44 @@ class TrafficDirector:
             # Off-path Arm-core forward to the host (~6 us on BF-2).
             yield self.env.timeout(self.link.spec.dpu_forward)
             self.env.process(self.host_handler(host_requests, wrapped))
+
+    # ------------------------------------------------------------------
+    # idempotent retries (request-id dedup)
+    # ------------------------------------------------------------------
+    def _dedup_intake(
+        self, requests: Sequence[IoRequest], sender: Callable
+    ) -> List[IoRequest]:
+        """Split retransmits from fresh work.
+
+        Completed requests get their recorded response replayed (paying
+        transmit but not re-execution); requests still in flight are
+        absorbed — the original's response reaches the client through
+        the shared callback.  Returns the requests to actually execute.
+        """
+        assert self.dedup is not None
+        fresh: List[IoRequest] = []
+        for request in requests:
+            replay = self.dedup.cached(request.request_id)
+            if replay is not None:
+                self.replayed_responses += 1
+                sender(replay)
+            elif self.dedup.begin(request):
+                fresh.append(request)
+        return fresh
+
+    def _recording_sender(self, sender: Callable) -> Callable:
+        """Record outcomes in the dedup table before transmitting."""
+        dedup = self.dedup
+
+        def send(response: IoResponse) -> None:
+            if response.ok:
+                dedup.complete(response.request_id, response)
+            else:
+                # Not applied: let a retry re-execute cleanly.
+                dedup.abandon(response.request_id)
+            sender(response)
+
+        return send
 
     # ------------------------------------------------------------------
     # transmit path
@@ -266,6 +340,12 @@ class TrafficDirector:
         self, flow: FiveTuple, response: IoResponse, respond: Callable
     ) -> Generator:
         """Emit a response to the client: TLDK send + wire transfer."""
+        if not self.alive:
+            # The DPU died while this response was in flight: it is
+            # lost (the dedup table, if any, has still recorded the
+            # application, so a retry replays it after recovery).
+            self.dropped_responses += 1
+            return
         core = self.core_for(flow)
         packets = self.link.packets_for(response.wire_size)
         yield from core.execute(

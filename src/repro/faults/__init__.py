@@ -1,0 +1,44 @@
+"""Deterministic chaos layer: fault plans, injection, durability audit.
+
+Quickstart::
+
+    from repro.faults import FaultPlan, ShardKill, FaultInjector
+
+    plan = FaultPlan(seed=7, events=(
+        ShardKill(at=10e-3, down_for=8e-3, shard=2),
+    ))
+    FaultInjector(env, server, plan).arm()
+    # ... run the workload; then audit with DurabilityChecker.check()
+
+Every fault draws its randomness from the plan's seed, so a chaos run
+is replayable: same seed, same fault log, same final state.
+"""
+
+from .durability import DurabilityChecker, DurabilityReport
+from .injector import FaultInjector
+from .netem import NetworkChaos
+from .plan import (
+    EngineCrash,
+    FaultEvent,
+    FaultPlan,
+    FaultRecord,
+    NicFault,
+    ShardKill,
+    SsdErrorBurst,
+    SsdLatencySpike,
+)
+
+__all__ = [
+    "DurabilityChecker",
+    "DurabilityReport",
+    "EngineCrash",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "NetworkChaos",
+    "NicFault",
+    "ShardKill",
+    "SsdErrorBurst",
+    "SsdLatencySpike",
+]

@@ -1,0 +1,154 @@
+"""Durability invariants checked after every chaos run.
+
+The checker rides the client as an observer (``on_issue`` / ``on_ack``)
+and, once the simulation drains, audits the final on-disk state against
+the acknowledgement history:
+
+* **No acked write lost** — for every WRITE the client saw acknowledged,
+  the bytes at (file, offset) on the owning shard's recovered filesystem
+  must equal that write's payload.  When several acked writes hit the
+  same offset, the latest acknowledgement wins; writes that were issued
+  later but never acknowledged are also admissible final contents (they
+  may legitimately have been applied without their response surviving).
+* **No double-apply** — the deployment's :class:`~repro.core.dedup.
+  RequestDedup` history must show zero second applications of the same
+  write id.
+
+Chaos scenarios that want the strict per-offset check (one writer per
+offset) get it for free by issuing unique offsets per request id, which
+is what ``benchmarks/test_chaos_recovery.py`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.dedup import RequestDedup
+from ..core.messages import IoRequest, IoResponse, OpCode
+
+__all__ = ["DurabilityChecker", "DurabilityReport"]
+
+
+@dataclass
+class DurabilityReport:
+    """Audit outcome: empty ``lost_writes`` and zero doubles == pass."""
+
+    verified_writes: int = 0
+    acked_reads: int = 0
+    double_applies: int = 0
+    lost_writes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.lost_writes and self.double_applies == 0
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            problems = list(self.lost_writes)
+            if self.double_applies:
+                problems.append(
+                    f"{self.double_applies} write(s) applied twice"
+                )
+            raise AssertionError(
+                "durability violated:\n" + "\n".join(problems)
+            )
+
+
+class DurabilityChecker:
+    """Client observer + post-run auditor for chaos scenarios."""
+
+    def __init__(self) -> None:
+        self._issue_seq = 0
+        #: request_id -> (request, issue order)
+        self.issued: Dict[int, Tuple[IoRequest, int]] = {}
+        #: request_id -> (request, ack order)
+        self.acked_writes: Dict[int, Tuple[IoRequest, int]] = {}
+        self.acked_reads = 0
+        self.failed_requests = 0
+
+    # ------------------------------------------------------------------
+    # client observer protocol
+    # ------------------------------------------------------------------
+    def on_issue(self, request: IoRequest) -> None:
+        if request.request_id not in self.issued:
+            self.issued[request.request_id] = (request, self._issue_seq)
+            self._issue_seq += 1
+
+    def on_ack(self, request: IoRequest, response: IoResponse) -> None:
+        if not response.ok:
+            self.failed_requests += 1
+            return
+        if request.op is OpCode.WRITE:
+            self.acked_writes[request.request_id] = (
+                request,
+                len(self.acked_writes),
+            )
+        else:
+            self.acked_reads += 1
+
+    def on_give_up(self, request: IoRequest) -> None:
+        self.failed_requests += 1
+
+    # ------------------------------------------------------------------
+    # post-run audit
+    # ------------------------------------------------------------------
+    def check(
+        self, server, dedup: Optional[RequestDedup] = None
+    ) -> DurabilityReport:
+        """Audit final disk state against the acknowledgement history.
+
+        ``server`` needs per-file filesystem resolution: a sharded server
+        exposes ``shard_map`` + ``filesystems``; single-backend servers
+        expose ``file_service.filesystem`` (or ``backend.filesystem``).
+        """
+        report = DurabilityReport(acked_reads=self.acked_reads)
+        if dedup is not None:
+            report.double_applies = dedup.double_applies
+        # Latest acked write per (file, offset) is the required content.
+        latest: Dict[Tuple[int, int], Tuple[IoRequest, int]] = {}
+        for request, ack_seq in self.acked_writes.values():
+            key = (request.file_id, request.offset)
+            if key not in latest or ack_seq > latest[key][1]:
+                latest[key] = (request, ack_seq)
+        for (file_id, offset), (request, _seq) in sorted(latest.items()):
+            filesystem = self._filesystem_for(server, file_id)
+            found = filesystem.read_sync(file_id, offset, request.size)
+            if found == request.payload:
+                report.verified_writes += 1
+                continue
+            # An unacked overwrite of the same range may have been
+            # applied without its response surviving the run.
+            admissible = [
+                issued.payload
+                for issued, _ in self.issued.values()
+                if issued.op is OpCode.WRITE
+                and issued.file_id == file_id
+                and issued.offset == offset
+                and issued.request_id not in self.acked_writes
+            ]
+            if found in admissible:
+                report.verified_writes += 1
+                continue
+            report.lost_writes.append(
+                f"file {file_id} offset {offset}: acked write "
+                f"{request.request_id} not found on disk"
+            )
+        return report
+
+    @staticmethod
+    def _filesystem_for(server, file_id: int):
+        shard_map = getattr(server, "shard_map", None)
+        filesystems = getattr(server, "filesystems", None)
+        if shard_map is not None and filesystems is not None:
+            return filesystems[shard_map.owner(file_id)]
+        file_service = getattr(server, "file_service", None)
+        if file_service is not None:
+            return file_service.filesystem
+        backend = getattr(server, "backend", None)
+        if backend is not None:
+            return backend.filesystem
+        raise TypeError(
+            "cannot resolve a filesystem for durability checking on "
+            f"{type(server).__name__}"
+        )

@@ -1,0 +1,205 @@
+"""The fault injector: schedules a plan's events on the sim clock.
+
+``FaultInjector(env, server, plan).arm()`` spawns one named process per
+fault event; recoveries run as their own named processes, so an
+:class:`~repro.sim.trace.EventLog` attached to the environment shows
+``fault:...`` and ``recover:...`` entries at exactly the times the plan
+dictates.  Every application and revert is also appended to
+``fault_log`` — a list of :class:`~repro.faults.plan.FaultRecord` —
+whose formatted lines are byte-identical across same-seed runs (the
+golden artifact chaos tests compare).
+
+Fault targets are resolved against the server's public wiring:
+
+* NIC windows install a :class:`~repro.faults.netem.NetworkChaos` on the
+  server's ``submit`` boundary;
+* SSD events reach the owning shard's :class:`~repro.hardware.ssd.
+  NvmeDevice` through its filesystem's bdev;
+* engine crashes call :meth:`~repro.core.offload_engine.OffloadEngine.
+  crash` / ``restart``;
+* shard kills call the sharded server's ``kill_shard`` /
+  ``recover_shard`` (the latter replays §4.3 metadata recovery from the
+  raw disk).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from ..core.offload_engine import OffloadEngine
+from ..hardware.ssd import NvmeDevice
+from ..sim import Environment
+from ..storage.filesystem import DdsFileSystem
+from .netem import NetworkChaos
+from .plan import (
+    EngineCrash,
+    FaultEvent,
+    FaultPlan,
+    FaultRecord,
+    NicFault,
+    ShardKill,
+    SsdErrorBurst,
+    SsdLatencySpike,
+)
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a running deployment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server,
+        plan: FaultPlan,
+        filesystems: Optional[Sequence[DdsFileSystem]] = None,
+    ) -> None:
+        self.env = env
+        self.server = server
+        self.plan = plan
+        self._filesystems = (
+            list(filesystems) if filesystems is not None else None
+        )
+        self.fault_log: List[FaultRecord] = []
+        self.chaos: Optional[NetworkChaos] = None
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def arm(self) -> "FaultInjector":
+        """Schedule every event of the plan; idempotent per injector."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for index, event in enumerate(self.plan.events):
+            self._spawn(
+                self._run_event(index, event), f"fault:{event.describe()}"
+            )
+        return self
+
+    def _spawn(self, generator: Generator, name: str) -> None:
+        generator.__name__ = name  # type: ignore[attr-defined]
+        self.env.process(generator)
+
+    def _log(self, kind: str, detail: str) -> None:
+        self.fault_log.append(FaultRecord(self.env.now, kind, detail))
+
+    def fault_log_lines(self) -> List[str]:
+        """The deterministic, formatted fault log (golden artifact)."""
+        return [record.format() for record in self.fault_log]
+
+    # ------------------------------------------------------------------
+    # target resolution
+    # ------------------------------------------------------------------
+    def _filesystem(self, shard: int) -> DdsFileSystem:
+        if self._filesystems is not None:
+            return self._filesystems[shard]
+        filesystems = getattr(self.server, "filesystems", None)
+        if filesystems is not None:
+            return filesystems[shard]
+        file_service = getattr(self.server, "file_service", None)
+        if file_service is not None:
+            return file_service.filesystem
+        backend = getattr(self.server, "backend", None)
+        if backend is not None:
+            return backend.filesystem
+        raise TypeError(
+            f"cannot resolve shard {shard}'s filesystem on "
+            f"{type(self.server).__name__}; pass filesystems= explicitly"
+        )
+
+    def _device(self, shard: int) -> NvmeDevice:
+        return self._filesystem(shard).bdev.device
+
+    def _engine(self, shard: int) -> OffloadEngine:
+        shards = getattr(self.server, "shards", None)
+        if shards is not None:
+            return shards[shard].engine
+        engine = getattr(self.server, "engine", None)
+        if engine is None:
+            raise TypeError(
+                f"{type(self.server).__name__} has no offload engine"
+            )
+        return engine
+
+    # ------------------------------------------------------------------
+    # event execution
+    # ------------------------------------------------------------------
+    def _run_event(self, index: int, event: FaultEvent) -> Generator:
+        yield self.env.timeout(event.at)
+        if isinstance(event, NicFault):
+            yield from self._run_nic(index, event)
+        elif isinstance(event, SsdErrorBurst):
+            self._device(event.shard).inject_errors(event.count)
+            self._log("ssd-error-burst", event.describe())
+        elif isinstance(event, SsdLatencySpike):
+            self._device(event.shard).inject_latency_spikes(
+                event.ops, event.extra
+            )
+            self._log("ssd-latency-spike", event.describe())
+        elif isinstance(event, EngineCrash):
+            self._run_engine_crash(event)
+        elif isinstance(event, ShardKill):
+            self._run_shard_kill(event)
+        else:  # pragma: no cover - plan validates its vocabulary
+            raise TypeError(f"unknown fault event {event!r}")
+
+    def _run_nic(self, index: int, event: NicFault) -> Generator:
+        chaos = NetworkChaos(
+            self.env,
+            self.plan.rng(f"nic:{index}"),
+            drop=event.drop,
+            duplicate=event.duplicate,
+            reorder=event.reorder,
+            corrupt=event.corrupt,
+            reorder_delay=event.reorder_delay,
+        )
+        self.chaos = chaos
+        self.server.network_chaos = chaos
+        self._log("nic-fault", event.describe())
+        yield self.env.timeout(event.duration)
+        if self.server.network_chaos is chaos:
+            self.server.network_chaos = None
+        self._log(
+            "nic-clear",
+            f"dropped={chaos.dropped} corrupted={chaos.corrupted} "
+            f"duplicated={chaos.duplicated} reordered={chaos.reordered}",
+        )
+
+    def _run_engine_crash(self, event: EngineCrash) -> None:
+        engine = self._engine(event.shard)
+        dropped = engine.crash()
+        self._log(
+            "engine-crash",
+            f"{event.describe()} dropped_contexts={dropped}",
+        )
+
+        def restart() -> Generator:
+            yield self.env.timeout(event.down_for)
+            engine.restart()
+            self._log("engine-restart", f"shard={event.shard}")
+
+        self._spawn(restart(), f"recover:engine:shard{event.shard}")
+
+    def _run_shard_kill(self, event: ShardKill) -> None:
+        kill = getattr(self.server, "kill_shard", None)
+        if kill is None:
+            raise TypeError(
+                f"{type(self.server).__name__} cannot kill shards"
+            )
+        kill(event.shard)
+        self._log("shard-kill", event.describe())
+
+        def recover() -> Generator:
+            yield self.env.timeout(event.down_for)
+            started = self.env.now
+            yield from self.server.recover_shard(event.shard)
+            self._log(
+                "shard-recover",
+                f"shard={event.shard} "
+                f"recovery_time={(self.env.now - started) * 1e6:.2f}us",
+            )
+
+        self._spawn(recover(), f"recover:shard{event.shard}")

@@ -1,0 +1,198 @@
+"""Typed fault plans: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is a seed plus a tuple of typed fault events, each
+scheduled at a simulation time.  Plans are frozen values: the same plan
+attached to the same deployment replays the identical fault sequence,
+which is what makes a chaos run a regression test rather than a dice
+roll.  All randomness used *while* a fault window is open (which packets
+drop, which operations spike) derives from the plan's seed through
+labelled :class:`~repro.sim.rng.SeededRng` child streams.
+
+The event vocabulary mirrors the failure domains of the paper's testbed:
+
+* :class:`NicFault` — the wire between client and DPU misbehaves
+  (drop / duplicate / reorder / corrupt) for a window.
+* :class:`SsdErrorBurst` / :class:`SsdLatencySpike` — one shard's NVMe
+  device returns media errors or stalls (§8's fault discussion).
+* :class:`EngineCrash` — the offload engine on one DPU dies and restarts;
+  the traffic director keeps running and falls back to the host.
+* :class:`ShardKill` — a whole DPU dies: director, engine, and the
+  in-DPU state are lost; recovery replays §4.3's metadata-segment
+  recovery from raw disk and rejoins the shard map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..sim import SeededRng
+
+__all__ = [
+    "FaultEvent",
+    "NicFault",
+    "SsdErrorBurst",
+    "SsdLatencySpike",
+    "EngineCrash",
+    "ShardKill",
+    "FaultPlan",
+    "FaultRecord",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base: one fault scheduled at simulation time ``at`` (seconds)."""
+
+    at: float
+
+    def describe(self) -> str:
+        return type(self).__name__.lower()
+
+    def _check(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+
+    def __post_init__(self) -> None:
+        self._check()
+
+
+@dataclass(frozen=True)
+class NicFault(FaultEvent):
+    """A lossy window on the client↔server wire.
+
+    Rates are per-message probabilities drawn from the plan's seeded
+    stream; ``corrupt`` models a payload that fails its checksum at the
+    receiver and is therefore indistinguishable from a drop (but counted
+    separately).  ``reorder_delay`` is how long a reordered delivery is
+    held back.
+    """
+
+    duration: float = 0.0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    reorder_delay: float = 20e-6
+
+    def describe(self) -> str:
+        knobs = ",".join(
+            f"{name}={value:g}"
+            for name, value in (
+                ("drop", self.drop),
+                ("dup", self.duplicate),
+                ("reorder", self.reorder),
+                ("corrupt", self.corrupt),
+            )
+            if value > 0
+        )
+        return f"nic[{knobs}]"
+
+    def _check(self) -> None:
+        super()._check()
+        if self.duration <= 0:
+            raise ValueError("NicFault needs a positive duration")
+        for rate in (self.drop, self.duplicate, self.reorder, self.corrupt):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("fault rates must be probabilities")
+
+
+@dataclass(frozen=True)
+class SsdErrorBurst(FaultEvent):
+    """Force the next ``count`` operations on one shard's SSD to fail."""
+
+    count: int = 1
+    shard: int = 0
+
+    def describe(self) -> str:
+        return f"ssd-errors[n={self.count},shard={self.shard}]"
+
+    def _check(self) -> None:
+        super()._check()
+        if self.count < 1:
+            raise ValueError("SsdErrorBurst needs count >= 1")
+
+
+@dataclass(frozen=True)
+class SsdLatencySpike(FaultEvent):
+    """Stall the next ``ops`` operations on one shard's SSD by ``extra``."""
+
+    ops: int = 1
+    extra: float = 1e-3
+    shard: int = 0
+
+    def describe(self) -> str:
+        return f"ssd-spike[n={self.ops},extra={self.extra:g},shard={self.shard}]"
+
+    def _check(self) -> None:
+        super()._check()
+        if self.ops < 1:
+            raise ValueError("SsdLatencySpike needs ops >= 1")
+        if self.extra <= 0:
+            raise ValueError("SsdLatencySpike needs positive extra latency")
+
+
+@dataclass(frozen=True)
+class EngineCrash(FaultEvent):
+    """Crash one shard's offload engine; restart it ``down_for`` later."""
+
+    down_for: float = 1e-3
+    shard: int = 0
+
+    def describe(self) -> str:
+        return f"engine-crash[shard={self.shard},down={self.down_for:g}]"
+
+    def _check(self) -> None:
+        super()._check()
+        if self.down_for <= 0:
+            raise ValueError("EngineCrash needs a positive down_for")
+
+
+@dataclass(frozen=True)
+class ShardKill(FaultEvent):
+    """Kill a whole shard (director + engine); recover it ``down_for``
+    later from its raw disk via metadata-segment recovery."""
+
+    down_for: float = 1e-3
+    shard: int = 0
+
+    def describe(self) -> str:
+        return f"shard-kill[shard={self.shard},down={self.down_for:g}]"
+
+    def _check(self) -> None:
+        super()._check()
+        if self.down_for <= 0:
+            raise ValueError("ShardKill needs a positive down_for")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One line of the deterministic fault log."""
+
+    time: float
+    kind: str
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.time * 1e6:10.2f}us] {self.kind:18s} {self.detail}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus a time-ordered tuple of fault events."""
+
+    seed: int = 0
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda event: (event.at, event.describe()))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def rng(self, label: str) -> SeededRng:
+        """An independent seeded stream for one fault window."""
+        return SeededRng(f"faultplan:{self.seed}:{label}")
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -64,12 +64,46 @@ class NvmeDevice:
         self.error_rate = 0.0
         self._forced_errors = 0
         self.errors = 0
+        # Latency-spike injection (GC pauses, internal housekeeping): a
+        # one-shot "next N ops take +extra seconds" knob plus a
+        # probabilistic rate.  The probabilistic draw happens only when
+        # the rate is non-zero, so the default jitter stream — and every
+        # pinned benchmark figure — is byte-identical with spikes off.
+        self.latency_spike_rate = 0.0
+        self.latency_spike_extra = 0.0
+        self._forced_spikes = 0
+        self._forced_spike_extra = 0.0
+        self.latency_spikes = 0
 
     def inject_errors(self, count: int = 1) -> None:
         """Force the next ``count`` operations to fail with DeviceError."""
         if count < 0:
             raise ValueError("count must be non-negative")
         self._forced_errors += count
+
+    def inject_latency_spikes(
+        self, count: int = 1, extra: float = 1e-3
+    ) -> None:
+        """Stretch the next ``count`` operations by ``extra`` seconds."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if extra < 0:
+            raise ValueError("extra must be non-negative")
+        self._forced_spikes += count
+        self._forced_spike_extra = extra
+
+    def _spike_delay(self) -> float:
+        if self._forced_spikes > 0:
+            self._forced_spikes -= 1
+            self.latency_spikes += 1
+            return self._forced_spike_extra
+        if (
+            self.latency_spike_rate > 0
+            and self.rng.random() < self.latency_spike_rate
+        ):
+            self.latency_spikes += 1
+            return self.latency_spike_extra
+        return 0.0
 
     def _maybe_fail(self) -> None:
         if self._forced_errors > 0:
@@ -117,7 +151,7 @@ class NvmeDevice:
                 base * self.JITTER_FRACTION, self.JITTER_CAP
             )
             start = self.env.now
-            yield self.env.timeout(base + jitter)
+            yield self.env.timeout(base + jitter + self._spike_delay())
             self._maybe_fail()  # after seek/service: the op burned time
             bus_grant = self._bus.request()
             yield bus_grant

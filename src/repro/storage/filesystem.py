@@ -14,6 +14,7 @@ file service, or the OS-filesystem baseline wrapper) owns CPU accounting.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, Generator, List, Optional
 
@@ -30,7 +31,10 @@ __all__ = [
 ]
 
 DEFAULT_SEGMENT_SIZE = 1 << 20  # 1 MiB, block-aligned
-_METADATA_MAGIC = "dds-fs-v1"
+_METADATA_MAGIC = "dds-fs-v2"
+#: blake2b digest trailing each metadata slot (torn-write detection).
+_DIGEST_SIZE = 16
+_SLOT_HEADER = 8
 
 
 class FileSystemError(Exception):
@@ -96,6 +100,8 @@ class DdsFileSystem:
         self._directories: Dict[str, List[int]] = {}
         self._files: Dict[int, FileMeta] = {}
         self._next_file_id = 1
+        #: Sequence number of the last durably flushed metadata image.
+        self._meta_seq = 0
 
     # ------------------------------------------------------------------
     # namespace operations
@@ -283,13 +289,35 @@ class DdsFileSystem:
         return b"".join(results)
 
     # ------------------------------------------------------------------
-    # metadata persistence (segment 0)
+    # metadata persistence (segment 0, two alternating slots)
     # ------------------------------------------------------------------
-    def serialize_metadata(self) -> bytes:
-        """Encode all metadata as the segment-0 image."""
+    # The metadata segment holds TWO slots: A at offset 0, B at half the
+    # segment.  Each flush writes the slot the *previous* flush did not,
+    # so a crash mid-flush can tear at most the slot being written — the
+    # other still holds a complete earlier image.  A slot is
+    # ``length || json-payload || blake2b-16(payload)``: the digest makes
+    # torn and truncated writes detectable, and the payload's
+    # monotonically increasing ``seq`` picks the newer of two valid
+    # slots at recovery.  Recovery therefore lands on exactly the
+    # last-synced state or the new one, never a hybrid.
+
+    @property
+    def metadata_seq(self) -> int:
+        """Sequence number of the last durably flushed metadata image."""
+        return self._meta_seq
+
+    def _slot_capacity(self) -> int:
+        return self.segment_size // 2
+
+    def _slot_offset(self, seq: int) -> int:
+        base = SegmentAllocator.METADATA_SEGMENT * self.segment_size
+        return base + (seq % 2) * self._slot_capacity()
+
+    def _encode_slot(self, seq: int) -> bytes:
         payload = json.dumps(
             {
                 "magic": _METADATA_MAGIC,
+                "seq": seq,
                 "segment_size": self.segment_size,
                 "next_file_id": self._next_file_id,
                 "directories": {
@@ -298,19 +326,63 @@ class DdsFileSystem:
                 "files": [meta.to_record() for meta in self._files.values()],
             }
         ).encode()
-        image = len(payload).to_bytes(8, "little") + payload
-        if len(image) > self.segment_size:
+        image = (
+            len(payload).to_bytes(_SLOT_HEADER, "little")
+            + payload
+            + hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+        )
+        if len(image) > self._slot_capacity():
             raise FileSystemError(
-                "metadata no longer fits in the reserved segment"
+                "metadata no longer fits in its half of the reserved segment"
             )
         return image
 
+    def serialize_metadata(self) -> bytes:
+        """Encode the slot image the next flush would write."""
+        return self._encode_slot(self._meta_seq + 1)
+
     def flush_metadata(self) -> Generator:
-        """Persist metadata to the reserved segment."""
+        """Persist metadata (device-timed) to the alternate slot."""
+        seq = self._meta_seq + 1
         yield from self.bdev.write(
-            SegmentAllocator.METADATA_SEGMENT * self.segment_size,
-            self.serialize_metadata(),
+            self._slot_offset(seq), self._encode_slot(seq)
         )
+        self._meta_seq = seq
+
+    def flush_metadata_sync(self) -> None:
+        """Bring-up flush: persist metadata with zero simulated time.
+
+        Deployment constructors use this to establish the durability
+        point a mid-run crash recovers to, without charging device time
+        outside the measurement window.
+        """
+        seq = self._meta_seq + 1
+        self.bdev.disk.write(self._slot_offset(seq), self._encode_slot(seq))
+        self._meta_seq = seq
+
+    @staticmethod
+    def _decode_slot(disk, offset: int, capacity: int) -> Optional[dict]:
+        """Parse one metadata slot; None if absent, torn, or corrupt."""
+        length = int.from_bytes(disk.read(offset, _SLOT_HEADER), "little")
+        if length == 0 or length + _SLOT_HEADER + _DIGEST_SIZE > capacity:
+            return None
+        payload = disk.read(offset + _SLOT_HEADER, length)
+        digest = disk.read(offset + _SLOT_HEADER + length, _DIGEST_SIZE)
+        if hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest() != (
+            digest
+        ):
+            return None
+        try:
+            decoded = json.loads(payload.decode())
+        except (UnicodeDecodeError, ValueError):
+            return None
+        if not isinstance(decoded, dict):
+            return None
+        if decoded.get("magic") != _METADATA_MAGIC:
+            return None
+        if not isinstance(decoded.get("seq"), int):
+            return None
+        return decoded
 
     @classmethod
     def recover(
@@ -319,21 +391,26 @@ class DdsFileSystem:
         bdev: SpdkBdev,
         segment_size: int = DEFAULT_SEGMENT_SIZE,
     ) -> "DdsFileSystem":
-        """Rebuild a filesystem from the metadata segment on disk."""
-        header = bdev.disk.read(0, 8)
-        length = int.from_bytes(header, "little")
-        if length == 0 or length > segment_size:
+        """Rebuild a filesystem from the newest valid metadata slot."""
+        base = SegmentAllocator.METADATA_SEGMENT * segment_size
+        half = segment_size // 2
+        best: Optional[dict] = None
+        for slot in range(2):
+            decoded = cls._decode_slot(bdev.disk, base + slot * half, half)
+            if decoded is not None and (
+                best is None or decoded["seq"] > best["seq"]
+            ):
+                best = decoded
+        if best is None:
             raise FileSystemError("no valid metadata segment on this disk")
-        payload = json.loads(bdev.disk.read(8, length).decode())
-        if payload.get("magic") != _METADATA_MAGIC:
-            raise FileSystemError("metadata magic mismatch")
-        fs = cls(env, bdev, segment_size=payload["segment_size"])
-        fs._next_file_id = payload["next_file_id"]
+        fs = cls(env, bdev, segment_size=best["segment_size"])
+        fs._meta_seq = best["seq"]
+        fs._next_file_id = best["next_file_id"]
         fs._directories = {
             name: list(files)
-            for name, files in payload["directories"].items()
+            for name, files in best["directories"].items()
         }
-        for record in payload["files"]:
+        for record in best["files"]:
             meta = FileMeta.from_record(record, fs.segment_size)
             fs._files[meta.file_id] = meta
             for segment in meta.extents:

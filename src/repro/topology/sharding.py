@@ -21,8 +21,10 @@ from bisect import bisect_right
 from typing import Callable, Generator, List, Optional, Sequence
 
 from ..core.api import OffloadCallbacks, passthrough_callbacks
+from ..core.dedup import RequestDedup
 from ..core.messages import IoRequest, IoResponse
 from ..core.offload_engine import OffloadEngine
+from ..core.retry import CircuitBreaker
 from ..core.server import PipelineServer
 from ..core.traffic_director import TrafficDirector
 from ..hardware.cpu import CpuCore
@@ -143,6 +145,9 @@ class OffloadShard:
         self.cores = cores
         self.engine = engine
         self.director = director
+        #: False between kill_shard and recover_shard: ingress and
+        #: relays route around a dead shard.
+        self.alive = True
 
 
 class ShardedSteering(Stage):
@@ -162,6 +167,7 @@ class ShardedSteering(Stage):
         # different flows interleave, and a lost update would make the
         # per-shard load report disagree with the directors' own totals.
         self._steered = [AtomicCounter(0) for _ in shards]
+        self._failovers = AtomicCounter(0)
 
     @property
     def shard_loads(self) -> List[int]:
@@ -172,6 +178,11 @@ class ShardedSteering(Stage):
     def messages_steered(self) -> int:
         """Total steering decisions made (sum over shards)."""
         return sum(self.shard_loads)
+
+    @property
+    def failovers(self) -> int:
+        """Messages re-routed because their ingress shard was dead."""
+        return self._failovers.load()
 
     def dpu_cores(self, elapsed: float) -> float:
         total = 0.0
@@ -187,9 +198,25 @@ class ShardedSteering(Stage):
         respond: Callable,
     ) -> Generator:
         shard_index = flow_shard(flow, len(self.shards))
-        self._steered[shard_index].fetch_add(1)
-        director = self.shards[shard_index].director
-        yield from director.receive_message(flow, requests, respond)
+        shard = self.shards[shard_index]
+        if not shard.alive:
+            # The flow's ingress DPU is dead.  The client's transport
+            # reconnects and lands on the next live director (a new
+            # five-tuple would re-hash; scanning from the RSS index is
+            # the deterministic equivalent).  All-dead: packets vanish
+            # and the client retries into the void.
+            for probe in range(1, len(self.shards)):
+                candidate = self.shards[
+                    (shard_index + probe) % len(self.shards)
+                ]
+                if candidate.alive:
+                    shard = candidate
+                    self._failovers.fetch_add(1)
+                    break
+            else:
+                return
+        self._steered[shard.index].fetch_add(1)
+        yield from shard.director.receive_message(flow, requests, respond)
 
 
 class ShardedOffloadServer(PipelineServer):
@@ -290,6 +317,76 @@ class ShardedOffloadServer(PipelineServer):
         self.directors = directors
         for shard in self.shards:
             shard.backend.start()
+        # Bring-up durability point: every shard's namespace (the cloned
+        # mirrors included) is persisted to its own disk, so a shard
+        # crashed mid-run can be rebuilt from raw disk via ``recover``.
+        for fs in self.filesystems:
+            fs.flush_metadata_sync()
+
+    # ------------------------------------------------------------------
+    # resilience: dedup/breakers, crash, and crash-consistent recovery
+    # ------------------------------------------------------------------
+    def enable_resilience(
+        self,
+        dedup_capacity: int = 1 << 16,
+        breaker_threshold: int = 4,
+        breaker_recovery: float = 500e-6,
+    ) -> RequestDedup:
+        """One dedup table shared by all directors (a retry may land on
+        a different ingress director after failover), plus one circuit
+        breaker per director/engine pair."""
+        dedup = super().enable_resilience(dedup_capacity)
+        for shard in self.shards:
+            shard.director.dedup = dedup
+            shard.director.breaker = CircuitBreaker(
+                self.env,
+                failure_threshold=breaker_threshold,
+                recovery_time=breaker_recovery,
+            )
+        return dedup
+
+    def kill_shard(self, index: int) -> int:
+        """Crash one shard's DPU mid-flight.
+
+        The director stops accepting (and answering) messages, and the
+        engine drops its in-flight contexts without responding — exactly
+        what a power-failed DPU looks like from the wire.  Returns the
+        number of dropped in-flight offload contexts.
+        """
+        shard = self.shards[index]
+        if not shard.alive:
+            raise RuntimeError(f"shard {index} is already dead")
+        shard.alive = False
+        shard.director.alive = False
+        return shard.engine.crash()
+
+    def recover_shard(self, index: int) -> Generator:
+        """Restart a killed shard from its raw disk.
+
+        Re-reads the metadata segment (device-timed, so time-to-recover
+        includes real device latency), rebuilds the shard's filesystem
+        from the newest valid slot, rewires the backend onto it, and
+        rejoins the shard map.  Returns the recovered filesystem.
+        """
+        shard = self.shards[index]
+        if shard.alive:
+            raise RuntimeError(f"shard {index} is not dead")
+        old_fs = self.filesystems[index]
+        yield from old_fs.bdev.device.read(old_fs.segment_size)
+        fs = DdsFileSystem.recover(
+            self.env, old_fs.bdev, segment_size=old_fs.segment_size
+        )
+        shard.backend.filesystem = fs
+        shard.backend.file_service.filesystem = fs
+        # Copy-on-write, not ``self.filesystems[index] = fs``: relay and
+        # steering paths read the list concurrently with recovery.
+        replaced = list(self.filesystems)
+        replaced[index] = fs
+        self.filesystems = replaced
+        shard.engine.restart()
+        shard.director.alive = True
+        shard.alive = True
+        return fs
 
     def _host_handler_for(self, backend: DdsBackend) -> Callable:
         host_side = backend.host_side

@@ -303,8 +303,10 @@ class DdsHostSide:
             )
         waiter = self.env.event()
         self._waiters[request_id] = waiter
-        response: IoResponse = yield waiter
-        return response
+        completion: IoResponse = yield waiter
+        # The library numbers operations in its own id space; the client
+        # correlates responses by the wire request id, so translate back.
+        return IoResponse(request.request_id, completion.ok, completion.data)
 
 
 class DdsBackend(Stage):
