@@ -1,0 +1,157 @@
+"""Engine micro-benchmarks: the four hot paths DESIGN.md §11 names.
+
+Each workload drives one engine mechanism in isolation — heap-ordered
+timeout churn, process spawn/teardown, ``AllOf``/``AnyOf`` fan-in, and
+same-tick event storms (the ready-deque path) — asserts the simulation
+behaved correctly, and contributes an entry to ``BENCH_engine_micro.json``
+at the repo root (events, wall seconds, events/sec, plus the
+machine-speed calibration anchor that makes the numbers comparable
+across hosts).
+
+Run directly: ``pytest benchmarks/test_engine_microbench.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.trajectory import REPO_ROOT, calibrate, write_bench
+from repro.sim import Environment
+
+#: name -> (events, wall_seconds); filled by the workload tests, written
+#: once by the session-scoped emitter fixture below.
+_RESULTS = {}
+
+
+def _record(name, env, wall):
+    _RESULTS[name] = (env.scheduled_count, wall)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write BENCH_engine_micro.json after all workloads have run."""
+    yield
+    if not _RESULTS:
+        return
+    entries = {}
+    total_events = 0
+    total_wall = 0.0
+    for name, (events, wall) in sorted(_RESULTS.items()):
+        entries[name] = {
+            "events": events,
+            "wall_seconds": round(wall, 4),
+            "events_per_sec": round(events / wall, 1) if wall else 0.0,
+        }
+        total_events += events
+        total_wall += wall
+    record = {
+        "schema": 1,
+        "name": "engine_micro",
+        "mode": "full",
+        "wall_seconds": round(total_wall, 4),
+        "events": total_events,
+        "events_per_sec": (
+            round(total_events / total_wall, 1) if total_wall else 0.0
+        ),
+        "peak_iops": 0.0,  # no I/O model in the micro workloads
+        "calibration_eps": round(calibrate(), 1),
+        "detail": entries,
+    }
+    write_bench(record, REPO_ROOT)
+
+
+def test_timeout_churn():
+    """Heap path: many interleaved positive-delay timeouts."""
+    env = Environment()
+    done = []
+
+    def churner(index):
+        delay = 1e-6 * (1 + (index % 7))
+        for _ in range(2000):
+            yield env.timeout(delay)
+        done.append(index)
+
+    start = time.perf_counter()
+    for index in range(25):
+        env.process(churner(index))
+    env.run()
+    wall = time.perf_counter() - start
+    _record("timeout_churn", env, wall)
+    assert len(done) == 25
+    assert env.now == pytest.approx(2000 * 7e-6)
+
+
+def test_process_spawn_teardown():
+    """Bootstrap + termination cost: short-lived process cascades."""
+    env = Environment()
+    finished = [0]
+
+    def leaf():
+        yield env.timeout(1e-9)
+        finished[0] += 1
+        return 1
+
+    def spawner():
+        for _ in range(200):
+            children = [env.process(leaf()) for _ in range(50)]
+            yield env.all_of(children)
+
+    start = time.perf_counter()
+    env.process(spawner())
+    env.run()
+    wall = time.perf_counter() - start
+    _record("spawn_teardown", env, wall)
+    assert finished[0] == 200 * 50
+
+
+def test_fan_in_allof_anyof():
+    """AllOf/AnyOf composition over mixed-delay children."""
+    env = Environment()
+    rounds = [0]
+
+    def fan():
+        for index in range(2000):
+            children = [
+                env.timeout(1e-6 * (1 + ((index + k) % 5)), value=k)
+                for k in range(8)
+            ]
+            values = yield env.all_of(children)
+            assert sorted(values) == list(range(8))
+            first = yield env.any_of(
+                [env.timeout(2e-6, "slow"), env.timeout(1e-6, "fast")]
+            )
+            assert first[1] == "fast"
+            rounds[0] += 1
+
+    start = time.perf_counter()
+    env.process(fan())
+    env.run()
+    wall = time.perf_counter() - start
+    _record("fan_in", env, wall)
+    assert rounds[0] == 2000
+
+
+def test_same_tick_storm():
+    """Ready-deque path: bursts of zero-delay triggers at one timestamp."""
+    env = Environment()
+    woken = [0]
+
+    def waiter(gate):
+        yield gate
+        woken[0] += 1
+
+    def storm():
+        for _ in range(400):
+            gates = [env.event() for _ in range(100)]
+            procs = [env.process(waiter(gate)) for gate in gates]
+            # Everything below happens at the same simulated instant.
+            for gate in gates:
+                gate.succeed()
+            yield env.all_of(procs)
+
+    start = time.perf_counter()
+    env.process(storm())
+    env.run()
+    wall = time.perf_counter() - start
+    _record("same_tick_storm", env, wall)
+    assert woken[0] == 400 * 100

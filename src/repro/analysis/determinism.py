@@ -18,6 +18,13 @@ that contract when they leak into sim-driven modules:
   ``hash()`` is salted per process (PYTHONHASHSEED), so anything
   derived from it — including ``set`` iteration order — differs between
   runs.  Use a keyed digest (``hashlib.blake2b``) or ``sorted()``.
+* **DDS304 — scheduling-API bypass**: only the engine
+  (``sim/engine.py``) may own event-queue mechanics.  A model that
+  imports ``heapq`` or pokes the engine's private queues (``_heap``,
+  ``_ready``, ``_eid``) sidesteps the same-tick ready deque and the
+  ``(time, seq)`` total order that DESIGN.md §11's fast path — and
+  every byte-identical golden — depends on.  Wall-clock reads in the
+  same hot paths are already DDS301 findings.
 """
 
 from __future__ import annotations
@@ -52,6 +59,8 @@ _ENTROPY = {
 }
 #: random.* attributes that are fine: seeded-generator construction.
 _RANDOM_OK = frozenset({"Random"})
+#: Engine-private scheduler state (DDS304): models must not touch these.
+_SCHEDULER_PRIVATE = frozenset({"_heap", "_ready", "_eid"})
 
 
 def _import_table(tree: ast.Module) -> Dict[str, str]:
@@ -102,11 +111,45 @@ def check_determinism(
     if "sim" not in classes:
         return findings
     imports = _import_table(tree)
+    guard_scheduler = "sim_hot" in classes
 
     def report(rule: str, line: int, message: str) -> None:
         findings.append(Finding(rule, path, line, message))
 
     for node in ast.walk(tree):
+        if guard_scheduler:
+            if isinstance(node, ast.Import) and any(
+                alias.name == "heapq" or alias.name.startswith("heapq.")
+                for alias in node.names
+            ):
+                report(
+                    "DDS304",
+                    node.lineno,
+                    "direct heapq import outside the engine: schedule "
+                    "through env.timeout/succeed/process so the hot "
+                    "path stays in sim/engine.py",
+                )
+            elif isinstance(node, ast.ImportFrom) and (
+                node.module == "heapq"
+            ):
+                report(
+                    "DDS304",
+                    node.lineno,
+                    "direct heapq import outside the engine: schedule "
+                    "through env.timeout/succeed/process so the hot "
+                    "path stays in sim/engine.py",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in _SCHEDULER_PRIVATE
+            ):
+                report(
+                    "DDS304",
+                    node.lineno,
+                    f"access to engine-private scheduler state "
+                    f".{node.attr}: use the engine's public "
+                    "scheduling API",
+                )
         if isinstance(node, ast.Call):
             origin = _call_origin(node, imports)
             if origin is not None:

@@ -61,6 +61,10 @@ RULES: Dict[str, str] = {
     "DDS303": (
         "hash-salt or iteration-order dependence inside sim-driven code"
     ),
+    "DDS304": (
+        "direct heapq use or scheduler-queue access in sim-driven code "
+        "outside the engine's sanctioned scheduling API"
+    ),
 }
 
 
@@ -106,6 +110,12 @@ class LintConfig:
     #: are therefore exempt from the determinism rules (the seeded RNG
     #: wrapper is allowed to touch :mod:`random`).
     sim_exempt_files: Tuple[str, ...] = ("sim/rng.py",)
+    #: The engine itself: the only sim module allowed to own event-queue
+    #: mechanics (``heapq``, the ready deque, the sequence counter).
+    #: Everything else in a sim prefix must schedule through the
+    #: engine's API (``env.timeout`` / ``succeed`` / ``process``) so the
+    #: hot path stays in one optimizable place (DDS304, DESIGN.md §11).
+    scheduler_files: Tuple[str, ...] = ("sim/engine.py",)
 
     def classes_for(self, relpath: str) -> FrozenSet[str]:
         """The lint classes a module (path relative to repro/) is in."""
@@ -123,6 +133,8 @@ class LintConfig:
             and relpath not in self.sim_exempt_files
         ):
             classes.add("sim")
+            if relpath not in self.scheduler_files:
+                classes.add("sim_hot")
         return frozenset(classes)
 
 

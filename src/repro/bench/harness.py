@@ -59,6 +59,10 @@ class ExperimentResult:
     dpu_cores: float
     client_cores: float
     latencies: List[float] = field(repr=False, default_factory=list)
+    #: Engine occurrences scheduled during this experiment (the
+    #: numerator of the perf trajectory's events/sec; see
+    #: :mod:`repro.bench.trajectory`).
+    events: int = 0
 
     @property
     def total_cores(self) -> float:
@@ -143,6 +147,7 @@ def run_io_experiment(
         dpu_cores=server.dpu_cores(result.elapsed),
         client_cores=client_cores,
         latencies=result.latencies,
+        events=cluster.env.scheduled_count,
     )
 
 
@@ -164,17 +169,22 @@ def find_peak(
     factor: float = 1.6,
     tolerance: float = 0.05,
     max_rounds: int = 8,
+    on_result=None,
     **kwargs,
 ) -> ExperimentResult:
     """Increase offered load until achieved throughput stops growing.
 
     Returns the measurement at the peak (Figure 16 reports peak
-    throughput and the CPU/latency observed there).
+    throughput and the CPU/latency observed there).  ``on_result`` (if
+    given) observes every intermediate measurement — the trajectory
+    harness uses it to total event counts across the whole search.
     """
     best: Optional[ExperimentResult] = None
     offered = start_iops
     for _ in range(max_rounds):
         result = run_io_experiment(kind, offered, **kwargs)
+        if on_result is not None:
+            on_result(result)
         if best is not None and result.achieved_iops < best.achieved_iops * (
             1 + tolerance
         ):

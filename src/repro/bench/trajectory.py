@@ -1,0 +1,411 @@
+"""The machine-readable performance trajectory (``BENCH_<name>.json``).
+
+Every PR leaves a perf record: this module runs pinned workloads —
+the Figure 16 peak-throughput sweep, the 4-shard scale-out run, and the
+chaos shard-kill recovery — and emits one JSON file per workload with
+the engine's events/sec, wall time, and peak simulated IOPS.  CI runs
+the same workloads at ``--mode smoke`` scale and fails when events/sec
+regresses against the committed baselines (see ``--check``).
+
+Metric definitions
+------------------
+``events``
+    :attr:`~repro.sim.engine.Environment.scheduled_count` summed over
+    every simulation the workload runs.  Each schedule operation
+    consumes exactly one sequence number, so the count is comparable
+    across engine versions — a faster engine shows up as a shorter wall
+    time for the *same* event count.
+``events_per_sec``
+    ``events / wall_seconds`` — the engine-throughput headline.
+``calibration_eps``
+    Operations/sec of a fixed pure-Python loop that never touches the
+    engine.  Dividing ``events_per_sec`` by ``calibration_eps`` gives a
+    machine-speed-normalized figure, which is what ``--check`` compares
+    so a slower CI runner does not read as an engine regression (and an
+    engine regression cannot hide behind a faster one).
+
+Usage
+-----
+::
+
+    python -m repro.bench.trajectory                  # full, repo-root JSONs
+    python -m repro.bench.trajectory --mode smoke --out bench_out
+    python -m repro.bench.trajectory --check . --out bench_out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "WORKLOADS",
+    "calibrate",
+    "run_workload",
+    "write_bench",
+    "load_bench",
+    "check_regressions",
+    "main",
+]
+
+#: Repository root (…/src/repro/bench/trajectory.py -> three parents up).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Smoke runs must stay within a CI-friendly budget; full runs match the
+#: committed benchmark figures' scale.
+_SCALES = ("smoke", "full")
+
+
+def calibrate(iterations: int = 300_000) -> float:
+    """Machine-speed anchor: ops/sec of a fixed engine-free Python loop.
+
+    Deliberately does *not* exercise the DES engine — if it did, an
+    engine regression would slow the anchor too and normalize itself
+    away.  The loop mixes dict, list, and arithmetic work in proportions
+    roughly matching model code.
+    """
+    table: Dict[int, int] = {}
+    acc = 0
+    items: List[int] = []
+    start = time.perf_counter()
+    for i in range(iterations):
+        table[i & 1023] = i
+        acc += table.get((i * 7) & 1023, 0)
+        items.append(i)
+        if len(items) > 64:
+            items.clear()
+    elapsed = time.perf_counter() - start
+    return iterations / elapsed if elapsed > 0 else float("inf")
+
+
+# ----------------------------------------------------------------------
+# pinned workloads
+# ----------------------------------------------------------------------
+def _run_fig16(mode: str) -> dict:
+    """The Figure 16 ten-solution peak-throughput sweep (reduced: three
+    representative solutions spanning the chart's range)."""
+    from .harness import find_peak
+
+    if mode == "full":
+        kinds = [
+            "baseline",
+            "smb-direct",
+            "redy-dds",
+            "dds-files",
+            "dds-offload",
+            "dds-offload-rdma",
+        ]
+        total_requests = 6000
+    else:
+        kinds = ["baseline", "dds-offload"]
+        total_requests = 1500
+    start = {"dds-offload": 200_000.0}
+    events = 0
+    peaks = {}
+
+    def tally(result):
+        nonlocal events
+        events += result.events
+
+    wall_start = time.perf_counter()
+    for kind in kinds:
+        peak = find_peak(
+            kind,
+            start_iops=start.get(kind, 100_000.0),
+            total_requests=total_requests,
+            max_outstanding=160,
+            on_result=tally,
+        )
+        peaks[kind] = peak.achieved_iops
+    wall = time.perf_counter() - wall_start
+    return {
+        "wall_seconds": wall,
+        "events": events,
+        "peak_iops": max(peaks.values()),
+        "detail": {"peaks": peaks, "total_requests": total_requests},
+    }
+
+
+def _run_scaleout(mode: str) -> dict:
+    """Directed reads against a consistent-hash 4-shard deployment."""
+    from ..core.client import ClientConfig, WorkloadClient
+    from ..core.messages import IoRequest, OpCode
+    from ..hardware.nic import NetworkLink
+    from ..sim import Environment
+    from ..storage.disk import RamDisk, SpdkBdev
+    from ..storage.filesystem import DdsFileSystem
+    from ..topology.sharding import ShardedOffloadServer
+
+    io_size = 1024
+    files = 32
+    file_bytes = 4 << 20
+    total_requests = 12_000 if mode == "full" else 3000
+
+    wall_start = time.perf_counter()
+    env = Environment()
+    disk = RamDisk(files * file_bytes + (64 << 20))
+    fs = DdsFileSystem(env, SpdkBdev(env, disk))
+    fs.create_directory("bench")
+    file_ids = []
+    for index in range(files):
+        file_id = fs.create_file("bench", f"shard-file-{index}")
+        fs.preallocate(file_id, file_bytes)
+        file_ids.append(file_id)
+    link = NetworkLink(env)
+    server = ShardedOffloadServer(env, link, fs, shard_count=4)
+    config = ClientConfig(
+        offered_iops=4e6,
+        total_requests=total_requests,
+        io_size=io_size,
+        batch=4,
+        connections=16,
+        max_outstanding=192,
+        file_size=file_bytes,
+        seed=7,
+    )
+    slots = file_bytes // io_size
+
+    def random_read(request_id, rng):
+        file_id = file_ids[rng.randrange(len(file_ids))]
+        offset = rng.randrange(slots) * io_size
+        return IoRequest(OpCode.READ, request_id, file_id, offset, io_size)
+
+    client = WorkloadClient(
+        env, server, file_ids[0], config, request_factory=random_read
+    )
+    result = client.run()
+    wall = time.perf_counter() - wall_start
+    return {
+        "wall_seconds": wall,
+        "events": env.scheduled_count,
+        "peak_iops": result.achieved_iops,
+        "detail": {
+            "shards": 4,
+            "total_requests": total_requests,
+            "p99_us": result.p99 * 1e6,
+        },
+    }
+
+
+def _run_chaos(mode: str) -> dict:
+    """Shard-kill recovery: a 4-shard run with one shard dark mid-run."""
+    from ..core.client import ClientConfig, DdsClient
+    from ..core.messages import IoRequest, OpCode
+    from ..faults import FaultInjector, FaultPlan, ShardKill
+    from ..hardware.nic import NetworkLink
+    from ..sim import Environment
+    from ..storage.disk import RamDisk, SpdkBdev
+    from ..storage.filesystem import DdsFileSystem
+    from ..topology.sharding import ShardedOffloadServer
+
+    io_size = 1024
+    files = 16
+    file_bytes = 1 << 20
+    slots = file_bytes // io_size
+    total_requests = 4800 if mode == "full" else 1200
+
+    wall_start = time.perf_counter()
+    env = Environment()
+    disk = RamDisk(files * file_bytes + (64 << 20))
+    fs = DdsFileSystem(env, SpdkBdev(env, disk))
+    fs.create_directory("chaos")
+    file_ids = []
+    for index in range(files):
+        file_id = fs.create_file("chaos", f"file-{index}")
+        fs.preallocate(file_id, file_bytes)
+        file_ids.append(file_id)
+    link = NetworkLink(env)
+    server = ShardedOffloadServer(env, link, fs, shard_count=4)
+    server.enable_resilience()
+    plan = FaultPlan(
+        seed=13,
+        events=(ShardKill(at=2e-3, down_for=3e-3, shard=1),),
+    )
+    FaultInjector(env, server, plan).arm()
+
+    def factory(request_id, rng):
+        if request_id % 4 == 0:
+            ordinal = request_id // 4
+            file_id = file_ids[ordinal % files]
+            offset = ((ordinal // files) % slots) * io_size
+            payload = request_id.to_bytes(8, "little") * (io_size // 8)
+            return IoRequest(
+                OpCode.WRITE, request_id, file_id, offset, io_size, payload
+            )
+        file_id = file_ids[rng.randrange(files)]
+        offset = rng.randrange(slots) * io_size
+        return IoRequest(OpCode.READ, request_id, file_id, offset, io_size)
+
+    config = ClientConfig(
+        offered_iops=1.2e6,
+        total_requests=total_requests,
+        io_size=io_size,
+        batch=4,
+        connections=8,
+        max_outstanding=160,
+        file_size=file_bytes,
+        seed=13,
+    )
+    client = DdsClient(
+        env, server, file_ids[0], config, request_factory=factory
+    )
+    result = client.run()
+    wall = time.perf_counter() - wall_start
+    return {
+        "wall_seconds": wall,
+        "events": env.scheduled_count,
+        "peak_iops": result.achieved_iops,
+        "detail": {
+            "total_requests": total_requests,
+            "retries": result.retries,
+            "failed_requests": result.failed_requests,
+        },
+    }
+
+
+WORKLOADS: Dict[str, Callable[[str], dict]] = {
+    "fig16": _run_fig16,
+    "scaleout": _run_scaleout,
+    "chaos": _run_chaos,
+}
+
+
+# ----------------------------------------------------------------------
+# record plumbing
+# ----------------------------------------------------------------------
+def run_workload(name: str, mode: str = "full") -> dict:
+    """Run one pinned workload and return its trajectory record."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}")
+    if mode not in _SCALES:
+        raise ValueError(f"mode must be one of {_SCALES}")
+    raw = WORKLOADS[name](mode)
+    wall = raw["wall_seconds"]
+    events = raw["events"]
+    record = {
+        "schema": 1,
+        "name": name,
+        "mode": mode,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "peak_iops": round(raw["peak_iops"], 1),
+        "calibration_eps": round(calibrate(), 1),
+        "python": "%d.%d" % sys.version_info[:2],
+        "detail": raw.get("detail", {}),
+    }
+    return record
+
+
+def write_bench(record: dict, out_dir: Path) -> Path:
+    """Write one record to ``<out_dir>/BENCH_<name>.json``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{record['name']}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(name: str, directory: Path) -> Optional[dict]:
+    path = directory / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def normalized_eps(record: dict) -> float:
+    """Events/sec divided by the machine-speed anchor (dimensionless)."""
+    calibration = record.get("calibration_eps") or 0.0
+    if calibration <= 0:
+        return 0.0
+    return record["events_per_sec"] / calibration
+
+
+def check_regressions(
+    fresh: Dict[str, dict],
+    baseline_dir: Path,
+    threshold: float = 0.20,
+) -> List[str]:
+    """Compare fresh records against committed baselines.
+
+    Returns human-readable failure strings for every workload whose
+    machine-normalized events/sec dropped more than ``threshold``
+    relative to its committed baseline.  Missing baselines are skipped
+    (the first PR to add a workload has nothing to compare against).
+    """
+    failures = []
+    for name, record in fresh.items():
+        baseline = load_bench(name, baseline_dir)
+        if baseline is None:
+            continue
+        base_norm = normalized_eps(baseline)
+        new_norm = normalized_eps(record)
+        if base_norm <= 0:
+            continue
+        ratio = new_norm / base_norm
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{name}: normalized events/sec fell to {ratio:.2%} of "
+                f"baseline ({record['events_per_sec']:.0f} ev/s vs "
+                f"{baseline['events_per_sec']:.0f} ev/s at "
+                f"{record['calibration_eps']:.0f} vs "
+                f"{baseline['calibration_eps']:.0f} calibration ops/s)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trajectory",
+        description="Run the pinned perf-trajectory workloads.",
+    )
+    parser.add_argument(
+        "--mode", choices=_SCALES, default="full",
+        help="workload scale (smoke keeps CI fast)",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated subset of workloads "
+        f"(default: all of {', '.join(WORKLOADS)})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT,
+        help="directory for BENCH_<name>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="BASELINE_DIR",
+        help="compare against committed baselines in this directory and "
+        "exit non-zero on >20%% normalized events/sec regression",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(WORKLOADS) if args.only is None else [
+        n.strip() for n in args.only.split(",") if n.strip()
+    ]
+    fresh = {}
+    for name in names:
+        record = run_workload(name, mode=args.mode)
+        path = write_bench(record, args.out)
+        print(
+            f"{name}: {record['events']} events in "
+            f"{record['wall_seconds']:.2f}s = "
+            f"{record['events_per_sec']:.0f} ev/s "
+            f"(peak {record['peak_iops']:.0f} IOPS) -> {path}"
+        )
+        fresh[name] = record
+
+    if args.check is not None:
+        failures = check_regressions(fresh, args.check)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression check passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

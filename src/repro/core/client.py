@@ -207,7 +207,7 @@ class WorkloadClient:
                 message_index += 1
                 outstanding[0] += 1
                 done = self.server.submit(flow, requests, on_response)
-                done.callbacks.append(on_message_done)
+                done.add_callback(on_message_done)
 
         start = self.env.now
         self.env.process(generator())

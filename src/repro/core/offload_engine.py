@@ -277,8 +277,10 @@ class OffloadEngine:
         self._completing = True
         epoch = self._epoch.load()
         try:
-            while self._head.load() < self._tail.load():
+            while True:
                 head = self._head.load()
+                if head >= self._tail.load():
+                    break
                 slot = head % self.context_slots
                 context = self._ring[slot]
                 if context is None or context.status is ContextStatus.PENDING:

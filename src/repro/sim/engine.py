@@ -3,13 +3,38 @@
 A small, dependency-free engine in the style of SimPy: simulation
 *processes* are Python generators that ``yield`` :class:`Event` objects and
 are resumed when those events trigger.  The :class:`Environment` owns the
-virtual clock and the event heap.
+virtual clock and the event queues.
 
 The engine is the substrate on which every hardware and protocol model in
 this repository runs (CPU cores, SSDs, DMA engines, network links, TCP).
 It is deliberately minimal but complete: events carry values or failures,
 processes are themselves events (so they can be awaited and composed), and
 ``AllOf``/``AnyOf`` provide fork/join.
+
+Hot-path design (DESIGN.md §11)
+-------------------------------
+The engine orders every scheduled occurrence by ``(time, seq)`` where
+``seq`` is a per-environment monotonically increasing int.  Two queues
+realise that order:
+
+* a **heap** of ``(time, seq, event, value, exception)`` tuples for
+  delayed occurrences, and
+* a **same-tick ready deque** for zero-delay occurrences (the vast
+  majority: every ``succeed()``, every process resume).  Ready entries
+  are always at the current simulated time, so they bypass ``heapq``
+  entirely; a ready entry runs before the heap top unless the heap top
+  shares the current timestamp with a smaller ``seq``.
+
+Process bootstrap and the "poke" that resumes a process whose yielded
+target already triggered are *direct continuations* — ``(seq, None,
+callable, None)`` ready entries — instead of freshly allocated throwaway
+``Event`` objects.  They consume exactly one ``seq`` each, like the event
+they replace, so the total order (and therefore every figure output) is
+bit-for-bit identical to the historical implementation.
+
+Every class here carries ``__slots__``, events store their sole callback
+inline (promoting to a list only on the second waiter), and ``run()``
+selects a no-trace fast loop once at entry.
 
 Example
 -------
@@ -26,8 +51,8 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 __all__ = [
     "Environment",
@@ -57,11 +82,17 @@ class Event:
     callbacks when the environment processes it.  Processes waiting on the
     event are resumed with the value, or have the exception thrown into
     them.
+
+    Waiters register with :meth:`add_callback`; the single-waiter case
+    (nearly every event) stores the callable inline with no list
+    allocation.
     """
+
+    __slots__ = ("env", "_cb", "_value", "_exception", "_scheduled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self._cb: Any = None  # None | callable | list of callables
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._scheduled = False
@@ -88,12 +119,53 @@ class Event:
             raise SimulationError("event value is not yet available")
         return self._value
 
+    @property
+    def callbacks(self) -> List[Callable[["Event"], None]]:
+        """Snapshot of registered waiters (register via add_callback)."""
+        cb = self._cb
+        if cb is None:
+            return []
+        if cb.__class__ is list:
+            return list(cb)
+        return [cb]
+
+    # ------------------------------------------------------------------
+    # waiter registration
+    # ------------------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event fires."""
+        cb = self._cb
+        if cb is None:
+            self._cb = fn
+        elif cb.__class__ is list:
+            cb.append(fn)
+        else:
+            self._cb = [cb, fn]
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Deregister a waiter registered with :meth:`add_callback`.
+
+        Comparison is by equality, not identity: bound methods (like
+        ``Process._resume``) are re-created on every attribute access,
+        so two accesses are equal but never identical.
+        """
+        cb = self._cb
+        if cb.__class__ is list:
+            try:
+                cb.remove(fn)
+            except ValueError:
+                pass
+        elif cb is not None and (cb is fn or cb == fn):
+            self._cb = None
+
     # ------------------------------------------------------------------
     # triggering
     # ------------------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with ``value`` after ``delay``."""
-        if self.triggered or self._scheduled:
+        if self._value is not _PENDING or self._exception is not None or (
+            self._scheduled
+        ):
             raise SimulationError("event has already been triggered")
         self._scheduled = True
         self.env._schedule(self, delay, value, None)
@@ -103,7 +175,9 @@ class Event:
         """Trigger the event as failed with ``exception`` after ``delay``."""
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
-        if self.triggered or self._scheduled:
+        if self._value is not _PENDING or self._exception is not None or (
+            self._scheduled
+        ):
             raise SimulationError("event has already been triggered")
         self._scheduled = True
         self.env._schedule(self, delay, _PENDING, exception)
@@ -113,14 +187,21 @@ class Event:
         """Record the outcome and run callbacks (engine internal)."""
         self._value = value
         self._exception = exception
-        callbacks, self.callbacks = self.callbacks, []
-        if exception is not None and not callbacks:
-            # Nobody is waiting on this event: surface the failure loudly
-            # instead of silently swallowing it (a failed fire-and-forget
-            # process would otherwise hang the simulation).
-            raise exception
-        for callback in callbacks:
-            callback(self)
+        cb = self._cb
+        if cb is None:
+            if exception is not None:
+                # Nobody is waiting on this event: surface the failure
+                # loudly instead of silently swallowing it (a failed
+                # fire-and-forget process would otherwise hang the
+                # simulation).
+                raise exception
+            return
+        self._cb = None
+        if cb.__class__ is list:
+            for fn in cb:
+                fn(self)
+        else:
+            cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self.triggered else "pending"
@@ -130,12 +211,26 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
+        self.env = env
+        self._cb = None
+        self._value = _PENDING
+        self._exception = None
         self._scheduled = True
-        env._schedule(self, delay, value, None)
+        # Inlined Environment._schedule: timeouts are the hottest
+        # schedule site, and the inline keeps seq consumption identical.
+        eid = env._eid
+        env._eid = eid + 1
+        if delay == 0.0:
+            env._ready.append((eid, self, value, None))
+        else:
+            heapq.heappush(
+                env._heap, (env._now + delay, eid, self, value, None)
+            )
 
 
 class Process(Event):
@@ -147,16 +242,25 @@ class Process(Event):
     so processes can wait on each other.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_poke_target")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
-        super().__init__(env)
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
+        self.env = env
+        self._cb = None
+        self._value = _PENDING
+        self._exception = None
+        self._scheduled = False
         self._generator = generator
         self.name = getattr(generator, "__name__", "process")
+        #: The pending event this process is registered on (for
+        #: deregistration when interrupted), and the already-triggered
+        #: event a scheduled same-tick poke will resume it with.
+        self._target: Optional[Event] = None
+        self._poke_target: Optional[Event] = None
         # Kick off execution at the current simulation time.
-        bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        env._schedule_call(self._bootstrap)
 
     @property
     def is_alive(self) -> bool:
@@ -164,30 +268,56 @@ class Process(Event):
         return not self.triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw an :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        """Throw an :class:`Interrupt` into the process at the current time.
+
+        The process is *deregistered* from whatever it was waiting on, so
+        the original wait target neither accumulates a dead callback nor
+        resumes the process at a stale yield point when it eventually
+        fires.
+        """
+        if self._value is not _PENDING or self._exception is not None:
             raise SimulationError("cannot interrupt a finished process")
-        poke = Event(self.env)
-        poke.callbacks.append(
-            lambda _ev: self._step(throw=Interrupt(cause))
-        )
-        poke.succeed()
+        target = self._target
+        if target is not None:
+            target.remove_callback(self._resume)
+            self._target = None
+        # Cancel a pending same-tick poke: its target's outcome must not
+        # be delivered after the interrupt rewound the wait.
+        self._poke_target = None
+        exc = Interrupt(cause)
+        self.env._schedule_call(lambda: self._step(throw=exc))
 
     # ------------------------------------------------------------------
     # engine internals
     # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """First resume (scheduled as a direct continuation)."""
+        self._step(send=None)
+
+    def _poke(self) -> None:
+        """Deliver an already-triggered target's outcome (same tick)."""
+        target = self._poke_target
+        if target is None:
+            return  # cancelled by interrupt()
+        self._poke_target = None
+        if target._exception is not None:
+            self._step(throw=target._exception)
+        else:
+            self._step(send=target._value)
+
     def _resume(self, event: Event) -> None:
         """Resume the generator with the outcome of ``event``."""
+        self._target = None
         if event._exception is not None:
             self._step(throw=event._exception)
         else:
             self._step(send=event._value)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None):
-        if self.triggered or self._scheduled:
-            # A stale wakeup (e.g. the event an interrupted process was
-            # waiting on finally firing) must not resume a finished
-            # process.
+        if self._value is not _PENDING or self._exception is not None or (
+            self._scheduled
+        ):
+            # A stale wakeup must not resume a finished process.
             return
         try:
             if throw is not None:
@@ -208,14 +338,15 @@ class Process(Event):
                 f"process {self.name!r} yielded {target!r}; "
                 "processes must yield Event instances"
             )
-        if target.triggered:
-            # Resume immediately (same timestamp) via a fresh event to keep
-            # scheduling fair with respect to other ready processes.
-            poke = Event(self.env)
-            poke.callbacks.append(lambda _ev: self._resume(target))
-            poke.succeed()
+        if target._value is not _PENDING or target._exception is not None:
+            # Already triggered: resume at the same timestamp via a
+            # same-tick continuation to keep scheduling fair with
+            # respect to other ready processes.
+            self._poke_target = target
+            self.env._schedule_call(self._poke)
         else:
-            target.callbacks.append(self._resume)
+            target.add_callback(self._resume)
+            self._target = target
 
 
 class Interrupt(Exception):
@@ -233,21 +364,25 @@ class AllOf(Event):
     soon as any child fails.
     """
 
+    __slots__ = ("_events", "_remaining")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
-        super().__init__(env)
+        Event.__init__(self, env)
         self._events = list(events)
         self._remaining = len(self._events)
         if self._remaining == 0:
             self.succeed([])
             return
         for event in self._events:
-            if event.triggered:
+            if event._value is not _PENDING or event._exception is not None:
                 self._on_child(event)
             else:
-                event.callbacks.append(self._on_child)
+                event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered or self._scheduled:
+        if self._value is not _PENDING or self._exception is not None or (
+            self._scheduled
+        ):
             return
         if event._exception is not None:
             self.fail(event._exception)
@@ -263,19 +398,23 @@ class AnyOf(Event):
     The value is a ``(event, value)`` tuple for the first child to fire.
     """
 
+    __slots__ = ("_events",)
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
-        super().__init__(env)
+        Event.__init__(self, env)
         self._events = list(events)
         if not self._events:
             raise ValueError("AnyOf requires at least one event")
         for event in self._events:
-            if event.triggered:
+            if event._value is not _PENDING or event._exception is not None:
                 self._on_child(event)
                 break
-            event.callbacks.append(self._on_child)
+            event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered or self._scheduled:
+        if self._value is not _PENDING or self._exception is not None or (
+            self._scheduled
+        ):
             return
         if event._exception is not None:
             self.fail(event._exception)
@@ -284,11 +423,13 @@ class AnyOf(Event):
 
 
 class Environment:
-    """The simulation world: a virtual clock plus an event heap.
+    """The simulation world: a virtual clock plus the event queues.
 
     Pass ``trace`` (a callable ``(time, event) -> None``) to observe
     every processed event — useful for debugging model behaviour (see
-    :class:`~repro.sim.trace.EventLog`).
+    :class:`~repro.sim.trace.EventLog`).  Engine-internal continuations
+    (process bootstrap and same-tick pokes) are not materialised as
+    events and therefore do not appear in traces.
     """
 
     def __init__(
@@ -297,14 +438,33 @@ class Environment:
         trace: Optional[Callable[[float, "Event"], None]] = None,
     ) -> None:
         self._now = float(initial_time)
+        #: Delayed occurrences: (time, seq, event, value, exception).
         self._heap: List[tuple] = []
-        self._counter = itertools.count()
+        #: Same-tick occurrences: (seq, event, value, exception) where
+        #: ``event is None`` marks a direct continuation and ``value``
+        #: holds the callable.  Entries are always at time ``_now``.
+        self._ready: Deque[tuple] = deque()
+        #: Next (time, seq) tiebreaker; also the count of everything
+        #: ever scheduled (events + continuations) — the "events" in the
+        #: perf trajectory's events/sec.
+        self._eid = 0
         self.trace = trace
 
     @property
     def now(self) -> float:
         """Current simulated time (seconds by convention in this repo)."""
         return self._now
+
+    @property
+    def scheduled_count(self) -> int:
+        """Total occurrences scheduled so far (events + continuations).
+
+        The numerator of the perf trajectory's events/sec metric
+        (``repro.bench.trajectory``); comparable across engine versions
+        because every schedule operation consumes exactly one sequence
+        number.
+        """
+        return self._eid
 
     # ------------------------------------------------------------------
     # factories
@@ -339,23 +499,55 @@ class Environment:
         value: Any,
         exception: Optional[BaseException],
     ) -> None:
-        heapq.heappush(
-            self._heap,
-            (self._now + delay, next(self._counter), event, value, exception),
-        )
+        eid = self._eid
+        self._eid = eid + 1
+        if delay == 0.0:
+            self._ready.append((eid, event, value, exception))
+        else:
+            heapq.heappush(
+                self._heap,
+                (self._now + delay, eid, event, value, exception),
+            )
+
+    def _schedule_call(self, fn: Callable[[], None]) -> None:
+        """Schedule a same-tick engine continuation (no Event object)."""
+        eid = self._eid
+        self._eid = eid + 1
+        self._ready.append((eid, None, fn, None))
+
+    def _pop_next(self) -> tuple:
+        """Remove and return the next (event, value, exception) triple,
+        advancing the clock.  Callers ensure a queue is non-empty."""
+        ready = self._ready
+        heap = self._heap
+        if ready:
+            # A heap entry at the current timestamp with a smaller seq
+            # predates everything in the ready deque.
+            if heap and heap[0][0] <= self._now and heap[0][1] < ready[0][0]:
+                entry = heapq.heappop(heap)
+                return entry[2], entry[3], entry[4]
+            entry = ready.popleft()
+            return entry[1], entry[2], entry[3]
+        entry = heapq.heappop(heap)
+        self._now = entry[0]
+        return entry[2], entry[3], entry[4]
 
     def step(self) -> None:
-        """Process the single next scheduled event."""
-        if not self._heap:
+        """Process the single next scheduled occurrence."""
+        if not self._ready and not self._heap:
             raise SimulationError("no scheduled events")
-        time, _seq, event, value, exception = heapq.heappop(self._heap)
-        self._now = time
+        event, value, exception = self._pop_next()
+        if event is None:
+            value()
+            return
         if self.trace is not None:
-            self.trace(time, event)
+            self.trace(self._now, event)
         event._apply(value, exception)
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next scheduled occurrence, or ``inf`` if none."""
+        if self._ready:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: Any = None) -> Any:
@@ -365,19 +557,99 @@ class Environment:
         (run until that simulated time), or an :class:`Event` (run until it
         triggers, returning its value).
         """
+        if self.trace is not None:
+            return self._run_traced(until)
+
+        # --------------------------------------------------------------
+        # no-trace fast loops: selected once here, tight locals inside
+        # --------------------------------------------------------------
+        ready = self._ready
+        heap = self._heap
+        pop_heap = heapq.heappop
+        pop_ready = ready.popleft
+
         if isinstance(until, Event):
-            sentinel = until
-            while not sentinel.triggered:
-                if not self._heap:
+            if until._value is not _PENDING or until._exception is not None:
+                return until.value
+            fired: List[Event] = []
+            until.add_callback(fired.append)
+            while not fired:
+                if ready:
+                    top = heap[0] if heap else None
+                    if (
+                        top is not None
+                        and top[0] <= self._now
+                        and top[1] < ready[0][0]
+                    ):
+                        _t, _s, event, value, exception = pop_heap(heap)
+                    else:
+                        _s, event, value, exception = pop_ready()
+                elif heap:
+                    entry = pop_heap(heap)
+                    self._now = entry[0]
+                    event, value, exception = entry[2], entry[3], entry[4]
+                else:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                if event is None:
+                    value()
+                else:
+                    event._apply(value, exception)
+            return until.value
+
+        deadline = float("inf") if until is None else float(until)
+        while True:
+            if ready:
+                if self._now > deadline:
+                    break
+                top = heap[0] if heap else None
+                if (
+                    top is not None
+                    and top[0] <= self._now
+                    and top[1] < ready[0][0]
+                ):
+                    _t, _s, event, value, exception = pop_heap(heap)
+                else:
+                    _s, event, value, exception = pop_ready()
+            elif heap:
+                if heap[0][0] > deadline:
+                    break
+                entry = pop_heap(heap)
+                self._now = entry[0]
+                event, value, exception = entry[2], entry[3], entry[4]
+            else:
+                break
+            if event is None:
+                value()
+            else:
+                event._apply(value, exception)
+        if until is not None:
+            self._now = max(self._now, deadline)
+        return None
+
+    def _run_traced(self, until: Any) -> Any:
+        """Step-by-step loop used when a trace hook is attached."""
+        if isinstance(until, Event):
+            while not until.triggered:
+                if not self._ready and not self._heap:
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         "event triggered (deadlock?)"
                     )
                 self.step()
-            return sentinel.value
-
+            return until.value
         deadline = float("inf") if until is None else float(until)
-        while self._heap and self._heap[0][0] <= deadline:
+        while True:
+            if self._ready:
+                if self._now > deadline:
+                    break
+            elif self._heap:
+                if self._heap[0][0] > deadline:
+                    break
+            else:
+                break
             self.step()
         if until is not None:
             self._now = max(self._now, deadline)

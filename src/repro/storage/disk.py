@@ -14,18 +14,23 @@ from typing import Generator, Optional
 
 from ..hardware.ssd import NvmeDevice
 from ..sim import Environment, SeededRng
+from ..structures.memory import zero_buffer
 
 __all__ = ["RamDisk", "SpdkBdev"]
 
 
 class RamDisk:
-    """The byte content of a simulated SSD."""
+    """The byte content of a simulated SSD.
+
+    Backed by :func:`~repro.structures.memory.zero_buffer`, so a
+    multi-GB disk costs nothing until blocks are actually written.
+    """
 
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise ValueError("disk size must be positive")
         self.size = size
-        self._data = bytearray(size)
+        self._data = zero_buffer(size)
 
     def read(self, offset: int, size: int) -> bytes:
         """Read ``size`` bytes at ``offset``."""

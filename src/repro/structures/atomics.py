@@ -35,16 +35,24 @@ class AtomicCounter:
         self._key = ("atomic", id(self))
 
     def load(self) -> int:
-        """Atomic read of the current value."""
+        """Atomic read of the current value.
+
+        A single attribute read is indivisible under the GIL, so no
+        mutex is needed — the ``yield_point`` remains the schedule point
+        the interleaving harness interposes on.  Only the
+        read-modify-write operations below take the mutex.
+        """
         yield_point("atomic.load", self._key)
-        with self._lock:
-            return self._value
+        return self._value
 
     def store(self, value: int) -> None:
-        """Atomic write (single-writer pointers, e.g. the ring head)."""
+        """Atomic write (single-writer pointers, e.g. the ring head).
+
+        Like :meth:`load`, a single attribute write is GIL-indivisible;
+        the mutex is reserved for read-modify-write steps.
+        """
         yield_point("atomic.store", self._key)
-        with self._lock:
-            self._value = value
+        self._value = value
 
     def compare_and_swap(self, expected: int, new: int) -> bool:
         """Set to ``new`` iff currently ``expected``; True on success."""

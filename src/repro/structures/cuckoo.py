@@ -161,9 +161,12 @@ class CuckooCacheTable:
         # floor so tiny tables still have two distinct buckets to probe.
         nominal = max(2, int(max_items / (0.7 * slots_per_bucket)) + 1)
         self._nbuckets = nominal
-        self._buckets: List[List[Tuple[Hashable, Any]]] = [
-            [] for _ in range(nominal)
-        ]
+        # Buckets materialize on first write: a fresh million-item table
+        # is one pointer array, not hundreds of thousands of empty
+        # lists.  ``None`` reads as an empty bucket everywhere.
+        self._buckets: List[Optional[List[Tuple[Hashable, Any]]]] = (
+            [None] * nominal
+        )
         self._count = 0
         self._writer_lock = threading.Lock()
         self.stats = CacheTableStats()
@@ -200,7 +203,7 @@ class CuckooCacheTable:
         result = default
         for index in (self._index1(key), self._index2(key)):
             yield_point("cuckoo.probe", self._bucket_key(index))
-            bucket = self._buckets[index]
+            bucket = self._buckets[index] or ()
             for entry_key, entry_value in bucket:
                 probes += 1
                 if entry_key == key:
@@ -227,7 +230,7 @@ class CuckooCacheTable:
     def items(self) -> Iterator[Tuple[Hashable, Any]]:
         """Iterate all entries (test/debug use; not concurrency-safe)."""
         for bucket in self._buckets:
-            yield from bucket
+            yield from bucket or ()
 
     # ------------------------------------------------------------------
     # writes (single writer)
@@ -259,7 +262,7 @@ class CuckooCacheTable:
         with self._writer_lock:
             self.stats.deletes += 1
             for index in (self._index1(key), self._index2(key)):
-                bucket = self._buckets[index]
+                bucket = self._buckets[index] or ()
                 for position, (entry_key, _val) in enumerate(bucket):
                     if entry_key == key:
                         yield_point(
@@ -275,9 +278,26 @@ class CuckooCacheTable:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _bucket_len(self, index: int) -> int:
+        bucket = self._buckets[index]
+        return 0 if bucket is None else len(bucket)
+
+    def _materialize(self, index: int) -> List[Tuple[Hashable, Any]]:
+        """The bucket list at ``index``, created on first write.
+
+        The single list assignment happens under the writer lock and is
+        atomic for lock-free readers (who treat ``None`` as empty).
+        """
+        bucket = self._buckets[index]
+        if bucket is None:
+            bucket = []
+            # ddslint: disable=DDS201 -- atomic None->list store invisible to readers; callers yield first
+            self._buckets[index] = bucket
+        return bucket
+
     def _update_in_place(self, key: Hashable, value: Any) -> bool:
         for index in (self._index1(key), self._index2(key)):
-            bucket = self._buckets[index]
+            bucket = self._buckets[index] or ()
             for position, (entry_key, _val) in enumerate(bucket):
                 if entry_key == key:
                     # Single-slot tuple swap: atomic for readers.
@@ -306,7 +326,7 @@ class CuckooCacheTable:
             if alternate in seen:
                 return None
             path.append(alternate)
-            if len(self._buckets[alternate]) < self.slots_per_bucket:
+            if self._bucket_len(alternate) < self.slots_per_bucket:
                 return path
             seen.add(alternate)
             index = alternate
@@ -327,9 +347,9 @@ class CuckooCacheTable:
         """
         index1, index2 = self._index1(key), self._index2(key)
         for index in (index1, index2):
-            if len(self._buckets[index]) < self.slots_per_bucket:
+            if self._bucket_len(index) < self.slots_per_bucket:
                 yield_point("cuckoo.bucket_append", self._bucket_key(index))
-                self._buckets[index].append((key, value))
+                self._materialize(index).append((key, value))
                 return
 
         path = self._find_path(index1)
@@ -337,7 +357,7 @@ class CuckooCacheTable:
             # No displacement path: chain the *new* item in its first
             # bucket.  Nothing is ever removed, so readers are unaffected.
             yield_point("cuckoo.bucket_append", self._bucket_key(index1))
-            self._buckets[index1].append((key, value))
+            self._materialize(index1).append((key, value))
             self.stats.chained_inserts += 1
             return
 
@@ -349,9 +369,9 @@ class CuckooCacheTable:
             src, dst = path[hop], path[hop + 1]
             moved = self._buckets[src][0]
             yield_point("cuckoo.bucket_append", self._bucket_key(dst))
-            self._buckets[dst].append(moved)
+            self._materialize(dst).append(moved)
             yield_point("cuckoo.bucket_replace", self._bucket_key(src))
             self._buckets[src] = self._buckets[src][1:]
             self.stats.displacements += 1
         yield_point("cuckoo.bucket_append", self._bucket_key(index1))
-        self._buckets[index1].append((key, value))
+        self._materialize(index1).append((key, value))

@@ -26,13 +26,32 @@ under the same lock, closing the check-then-act window a racing pair of
 
 from __future__ import annotations
 
+import mmap
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.concurrency.hooks import yield_point
 
-__all__ = ["PoolStats", "DmaBuffer", "BufferPool"]
+__all__ = ["PoolStats", "DmaBuffer", "BufferPool", "zero_buffer"]
+
+#: Buffers at or above this size are backed by anonymous mmap.
+_MMAP_THRESHOLD = 1 << 20
+
+ZeroBuffer = Union[bytearray, mmap.mmap]
+
+
+def zero_buffer(size: int) -> ZeroBuffer:
+    """A zero-filled writable buffer supporting slice reads and writes.
+
+    Large buffers (disk images, host rings) are backed by anonymous mmap:
+    the kernel hands out lazily-faulted zero pages, so a multi-hundred-MB
+    "allocation" costs microseconds and only pages actually written ever
+    consume memory.  Small buffers stay plain ``bytearray``.
+    """
+    if size >= _MMAP_THRESHOLD:
+        return mmap.mmap(-1, size)
+    return bytearray(size)
 
 
 @dataclass

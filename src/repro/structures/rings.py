@@ -36,6 +36,7 @@ from typing import List, Optional
 from repro.concurrency.hooks import yield_point
 
 from .atomics import AtomicCounter
+from .memory import zero_buffer
 
 __all__ = ["ProgressRing", "FarmRing", "LockRing", "RECORD_HEADER"]
 
@@ -58,7 +59,7 @@ class _ByteRing:
         if capacity <= RECORD_HEADER.size:
             raise ValueError("capacity too small for a single record")
         self.capacity = capacity
-        self._buffer = bytearray(capacity)
+        self._buffer = zero_buffer(capacity)
 
     def _write_at(self, offset: int, data: bytes) -> None:
         pos = offset % self.capacity

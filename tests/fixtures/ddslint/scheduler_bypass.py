@@ -1,0 +1,24 @@
+"""Fixture: a sim-driven model bypassing the engine's scheduling API."""
+import heapq
+from heapq import heappush
+
+
+class RogueModel:
+    def __init__(self, env):
+        self.env = env
+        self.backlog = []
+
+    def schedule_direct(self, event):
+        heapq.heappush(self.env._heap, (0.0, 0, event, None, None))
+
+    def jump_queue(self, entry):
+        self.env._ready.append(entry)
+
+    def steal_seq(self):
+        return self.env._eid
+
+    def local_heap_is_still_flagged(self, item):
+        heappush(self.backlog, item)
+
+    def sanctioned(self, delay):
+        return self.env.timeout(delay)

@@ -19,6 +19,7 @@ FIXTURES = Path(__file__).parent / "fixtures" / "ddslint"
 SHARED = frozenset({"shared"})
 INSTRUMENTED = frozenset({"instrumented"})
 SIM = frozenset({"sim"})
+SIM_HOT = frozenset({"sim", "sim_hot"})
 
 
 def _lint(fixture, classes):
@@ -164,9 +165,10 @@ def test_clean_fixture_is_clean_under_every_class():
         ("structures/cuckoo.py", {"shared", "instrumented"}),
         ("core/offload_engine.py", {"shared", "instrumented"}),
         ("topology/sharding.py", {"shared"}),
-        ("net/packet.py", {"sim"}),
-        ("hardware/cpu.py", {"sim"}),
-        ("baselines/__init__.py", {"sim"}),
+        ("net/packet.py", {"sim", "sim_hot"}),
+        ("hardware/cpu.py", {"sim", "sim_hot"}),
+        ("baselines/__init__.py", {"sim", "sim_hot"}),
+        ("sim/engine.py", {"sim"}),  # owns the queues: no sim_hot
         ("sim/rng.py", set()),  # implements the blessed idiom
         ("core/server.py", set()),
         ("analysis/driver.py", set()),
@@ -176,11 +178,30 @@ def test_default_config_classification(relpath, expected):
     assert DEFAULT_CONFIG.classes_for(relpath) == frozenset(expected)
 
 
+def test_scheduler_bypass_exact_rules_and_lines():
+    """DDS304: heapq imports and engine-private queue access."""
+    findings = _lint("scheduler_bypass.py", SIM_HOT)
+    assert _inventory(findings) == [
+        ("DDS304", 2),  # import heapq
+        ("DDS304", 3),  # from heapq import heappush
+        ("DDS304", 12),  # self.env._heap
+        ("DDS304", 15),  # self.env._ready
+        ("DDS304", 18),  # self.env._eid
+    ]
+
+
+def test_engine_itself_is_exempt_from_dds304():
+    """sim/engine.py classifies as sim-without-sim_hot: no DDS304."""
+    findings = _lint("scheduler_bypass.py", SIM)
+    assert all(f.rule != "DDS304" for f in findings)
+
+
 def test_rule_registry_covers_every_reported_rule():
     rules = set()
     for fixture, classes in [
         ("shared_bad.py", SHARED | INSTRUMENTED),
         ("sim_bad.py", SIM),
+        ("scheduler_bypass.py", SIM_HOT),
     ]:
         rules.update(f.rule for f in _lint(fixture, classes))
     assert rules <= set(RULES)

@@ -28,12 +28,17 @@ def test_live_tree_baseline_is_small_and_justified():
     assert all(f.justification for f in suppressed)
     # The full baseline: the three wrap-around writes in the shared
     # _ByteRing._write_at helper, whose callers own the byte range and
-    # yield before invoking it.  Growing this inventory is a reviewed
-    # decision, not a drive-by.
+    # yield before invoking it; plus the lazy-bucket materialization in
+    # cuckoo's _materialize, where the None->list swap is one atomic
+    # store invisible to readers and callers yield before the enclosing
+    # write op.  Growing this inventory is a reviewed decision, not a
+    # drive-by.
     inventory = sorted(
         (Path(f.path).name, f.rule) for f in suppressed
     )
-    assert inventory == [("rings.py", "DDS201")] * 3
+    assert inventory == [("cuckoo.py", "DDS201")] + [
+        ("rings.py", "DDS201")
+    ] * 3
 
 
 def test_cli_exits_zero_on_live_tree(capsys):

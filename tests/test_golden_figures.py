@@ -1,0 +1,113 @@
+"""Pinned-golden regression tests for the engine refactor (ISSUE 6).
+
+Reduced fig16- and fig22-shaped workloads whose *full-precision* outputs
+(``repr`` of every float) were captured before the engine hot-path
+rebuild.  Any scheduling-order, RNG-draw-order, or float-arithmetic
+drift in the engine shows up here as a one-character diff — this is the
+safety net that makes engine optimization mechanical.
+
+Regenerate after an *intentional* model change with::
+
+    PYTHONPATH=src python tests/test_golden_figures.py --regen
+"""
+
+from pathlib import Path
+
+from repro.bench.harness import run_io_experiment
+from repro.hardware import DPU_CPU, CpuCore, MICROSECOND
+from repro.sim import Environment, SeededRng
+from repro.structures import CuckooCacheTable
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Small enough for tier-1, large enough to exercise every model layer
+#: (NIC, TCP/PEP, director, offload engine, file service, SSD).
+_FIG16_KINDS = ("baseline", "dds-files", "dds-offload")
+_FIG16_REQUESTS = 1200
+
+
+def fig16_golden_lines():
+    """One full-precision line per solution at a fixed offered load."""
+    lines = []
+    for kind in _FIG16_KINDS:
+        result = run_io_experiment(
+            kind,
+            250_000.0,
+            total_requests=_FIG16_REQUESTS,
+            max_outstanding=96,
+        )
+        lines.append(
+            f"{kind} achieved={result.achieved_iops!r} "
+            f"elapsed={result.elapsed!r} p50={result.p50!r} "
+            f"p99={result.p99!r} host={result.host_cores!r} "
+            f"dpu={result.dpu_cores!r} client={result.client_cores!r}"
+        )
+    return lines
+
+
+def fig22_golden_lines():
+    """Cache-table insert timing on a simulated Arm core, full precision."""
+    insert_cost = 0.28 * MICROSECOND
+    displace_cost = 0.05 * MICROSECOND
+    lines = []
+    for item_bytes in (16, 256):
+        env = Environment()
+        core = CpuCore(env, speed=DPU_CPU.speed)
+        table = CuckooCacheTable(2000)
+        rng = SeededRng(5)
+        payload = bytes(item_bytes)
+
+        def writer():
+            for _ in range(2000):
+                before = table.stats.displacements
+                table.insert(rng.randrange(1 << 48), payload)
+                kicks = table.stats.displacements - before
+                yield from core.execute(
+                    insert_cost + kicks * displace_cost + item_bytes * 0.1e-9
+                )
+
+        done = env.process(writer())
+        env.run(until=done)
+        lines.append(
+            f"bytes={item_bytes} now={env.now!r} "
+            f"displacements={table.stats.displacements} "
+            f"chained={table.stats.chained_inserts}"
+        )
+    return lines
+
+
+def _check(name, lines):
+    expected = (FIXTURES / name).read_text().splitlines()
+    assert lines == expected, (
+        f"{name} drifted from the pinned pre-refactor golden; if the "
+        "change is an intentional model change, regenerate with "
+        "`python tests/test_golden_figures.py --regen`"
+    )
+
+
+def test_fig16_reduced_golden():
+    _check("golden_fig16.txt", fig16_golden_lines())
+
+
+def test_fig22_reduced_golden():
+    _check("golden_fig22.txt", fig22_golden_lines())
+
+
+def _regen():  # pragma: no cover - maintenance entry point
+    FIXTURES.mkdir(exist_ok=True)
+    (FIXTURES / "golden_fig16.txt").write_text(
+        "\n".join(fig16_golden_lines()) + "\n"
+    )
+    (FIXTURES / "golden_fig22.txt").write_text(
+        "\n".join(fig22_golden_lines()) + "\n"
+    )
+    print(f"regenerated goldens in {FIXTURES}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

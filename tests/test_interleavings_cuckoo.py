@@ -37,9 +37,9 @@ class _BuggyDisplacementTable(CuckooCacheTable):
     def _place(self, key, value):
         index1, index2 = self._index1(key), self._index2(key)
         for index in (index1, index2):
-            if len(self._buckets[index]) < self.slots_per_bucket:
+            if self._bucket_len(index) < self.slots_per_bucket:
                 yield_point("cuckoo.bucket_append", self._bucket_key(index))
-                self._buckets[index].append((key, value))
+                self._materialize(index).append((key, value))
                 return
         index = index1
         carried_key, carried_value = key, value
@@ -47,11 +47,13 @@ class _BuggyDisplacementTable(CuckooCacheTable):
             bucket = self._buckets[index]
             victim_key, victim_value = bucket[0]
             alternate = self._alternate(victim_key, index)
-            if len(self._buckets[alternate]) < self.slots_per_bucket:
+            if self._bucket_len(alternate) < self.slots_per_bucket:
                 yield_point(
                     "cuckoo.bucket_append", self._bucket_key(alternate)
                 )
-                self._buckets[alternate].append((victim_key, victim_value))
+                self._materialize(alternate).append(
+                    (victim_key, victim_value)
+                )
                 yield_point(
                     "cuckoo.bucket_update", self._bucket_key(index)
                 )
@@ -69,7 +71,7 @@ class _BuggyDisplacementTable(CuckooCacheTable):
             "cuckoo.bucket_append",
             self._bucket_key(self._index1(carried_key)),
         )
-        self._buckets[self._index1(carried_key)].append(
+        self._materialize(self._index1(carried_key)).append(
             (carried_key, carried_value)
         )
         self.stats.chained_inserts += 1

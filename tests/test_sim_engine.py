@@ -272,6 +272,65 @@ def test_interrupt_thrown_into_process():
     assert victim.value == ("interrupted", "wakeup", 2.0)
 
 
+def test_interrupt_deregisters_callback_from_wait_target():
+    """Regression (ISSUE 6): an interrupted process must not stay
+    registered on its original wait target — long-lived events would
+    otherwise accumulate dead callbacks (a leak plus a stale resume)."""
+    env = Environment()
+    gate = env.event()
+    outcomes = []
+
+    def sleeper(env):
+        try:
+            yield gate
+            outcomes.append("gate")
+        except Interrupt:
+            outcomes.append("interrupted")
+            yield env.timeout(50)
+            outcomes.append("slept")
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt()
+        assert gate.callbacks == []  # deregistered, not leaked
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run(until=5)
+    # The gate firing later must NOT resume the victim at the stale
+    # yield point (it is sleeping inside the except branch).
+    gate.succeed()
+    env.run()
+    assert outcomes == ["interrupted", "slept"]
+
+
+def test_interrupt_cancels_pending_same_tick_poke():
+    """An interrupt racing a same-tick resume: the poke for the
+    already-triggered target must be cancelled, and only the Interrupt
+    may be delivered."""
+    env = Environment()
+    outcomes = []
+
+    def sleeper(env):
+        try:
+            # Already-triggered target: resume is scheduled as a
+            # same-tick poke, which the interrupt below must cancel.
+            yield env.timeout(0)
+            outcomes.append("poked")
+        except Interrupt:
+            outcomes.append("interrupted")
+
+    def interrupter(env, victim):
+        victim.interrupt()
+        return
+        yield  # pragma: no cover - make this a generator
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert outcomes == ["interrupted"]
+
+
 def test_peek_reports_next_event_time():
     env = Environment()
     env.timeout(4)
