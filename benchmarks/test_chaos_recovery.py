@@ -16,7 +16,13 @@ from _tables import emit, kops, us
 
 from repro.core.client import ClientConfig, DdsClient
 from repro.core.messages import IoRequest, OpCode
-from repro.faults import DurabilityChecker, FaultInjector, FaultPlan, ShardKill
+from repro.faults import (
+    DurabilityChecker,
+    FaultInjector,
+    FaultPlan,
+    ReplicationInvariantChecker,
+    ShardKill,
+)
 from repro.hardware.nic import NetworkLink
 from repro.sim import Environment
 from repro.storage.disk import RamDisk, SpdkBdev
@@ -259,3 +265,190 @@ class TestChaosRecoveryBench:
         )
         assert first.digest == second.digest
         assert first.acks == second.acks
+
+
+# ----------------------------------------------------------------------
+# replicated shard groups: zero-dark-window failover
+# ----------------------------------------------------------------------
+def run_replicated_bench(seed=13):
+    """Same kill, but with synchronous primary→backup replication on.
+
+    The backup of shard 2's replica group serves its keyspace from the
+    crash instant onward, so — unlike :func:`run_chaos_bench` — the
+    dead keyspace keeps acknowledging through the whole outage.  The
+    Derecho-style runtime checker audits every protocol step while the
+    chaos runs.
+    """
+    env = Environment()
+    disk = RamDisk(FILES * FILE_BYTES + (64 << 20))
+    fs = DdsFileSystem(env, SpdkBdev(env, disk))
+    fs.create_directory("chaos")
+    file_ids = []
+    for index in range(FILES):
+        file_id = fs.create_file("chaos", f"file-{index}")
+        fs.preallocate(file_id, FILE_BYTES)
+        file_ids.append(file_id)
+    server = ShardedOffloadServer(env, NetworkLink(env), fs, shard_count=4)
+    dedup = server.enable_resilience()
+    checker = ReplicationInvariantChecker(env)
+    replicator = server.enable_replication(checker)
+    plan = FaultPlan(
+        seed=seed,
+        events=(ShardKill(at=KILL_AT, down_for=DOWN_FOR, shard=2),),
+    )
+    injector = FaultInjector(env, server, plan).arm()
+    timeline = AckTimeline(env, checker)
+    config = ClientConfig(
+        offered_iops=400e3,
+        total_requests=TOTAL_REQUESTS,
+        io_size=IO_SIZE,
+        batch=4,
+        connections=16,
+        max_outstanding=512,
+        file_size=FILE_BYTES,
+        seed=seed,
+    )
+    client = DdsClient(
+        env,
+        server,
+        file_ids[0],
+        config,
+        request_factory=make_workload(file_ids),
+        observer=timeline,
+    )
+    result = client.run()
+    # Bounded drain: anti-entropy catch-up is device-timed (it replays
+    # every entry the dead member missed), and the resilience layer's
+    # reclaim loop keeps the event queue non-empty forever — loop until
+    # the injector logs the recovery instead of draining bare.
+    for _ in range(120):
+        if any(r.kind == "shard-recover" for r in injector.fault_log):
+            break
+        env.run(until=env.timeout(1e-3))
+    env.run(until=env.timeout(1e-3))
+    dead_files = frozenset(
+        file_id for file_id in file_ids if server.shard_map.owner(file_id) == 2
+    )
+    recover_record = next(
+        record
+        for record in injector.fault_log
+        if record.kind == "shard-recover"
+    )
+    recovery_us = float(
+        recover_record.detail.split("recovery_time=")[1].rstrip("us")
+    )
+    return SimpleNamespace(
+        server=server,
+        replicator=replicator,
+        checker=checker,
+        result=result,
+        injector=injector,
+        acks=timeline.acks,
+        dead_files=dead_files,
+        recover_time=recover_record.time,
+        recovery_us=recovery_us,
+        report=checker.check(server, dedup=dedup),
+        digest=state_digest(server, file_ids),
+    )
+
+
+def outage_buckets(run, window=5e-4):
+    """Dead-keyspace acks per ``window`` slice of the kill window."""
+    buckets = [0] * int(DOWN_FOR / window)
+    for stamp, file_id in run.acks:
+        if file_id in run.dead_files and KILL_AT <= stamp < KILL_AT + DOWN_FOR:
+            buckets[int((stamp - KILL_AT) / window)] += 1
+    return buckets
+
+
+@pytest.fixture(scope="module")
+def replicated_run():
+    return run_replicated_bench(seed=13)
+
+
+@pytest.fixture(scope="module")
+def replicated_table(replicated_run):
+    run = replicated_run
+    stats = summarize(run)
+    rows = [
+        (
+            f"{bucket * BUCKET * 1e3:.0f}-{(bucket + 1) * BUCKET * 1e3:.0f}ms",
+            stats.buckets.get(bucket, 0),
+            stats.dead_buckets.get(bucket, 0),
+            kops(stats.buckets.get(bucket, 0) / BUCKET),
+        )
+        for bucket in range(max(stats.buckets) + 1)
+    ]
+    replicator = run.replicator
+    rows.append(("handoffs", replicator.handoffs, "-", "-"))
+    rows.append(("mirrored", replicator.mirrored_writes, "-", "-"))
+    rows.append(("solo-acks", replicator.solo_acks, "-", "-"))
+    rows.append(("catch-up", replicator.catchup_replays, "-", "-"))
+    rows.append(("ingress-drops", run.server.steering.dropped, "-", "-"))
+    rows.append(("violations", len(run.checker.violations), "-", "-"))
+    rows.append(
+        ("recovery+catchup", "-", "-", us(run.recovery_us / 1e6))
+    )
+    emit(
+        "chaos_replication",
+        "replicated failover: acked throughput around a shard kill",
+        ("window", "acks", "dead-shard", "rate"),
+        rows,
+    )
+    return stats
+
+
+class TestReplicatedChaosBench:
+    def test_zero_dark_window(self, replicated_run, replicated_table):
+        """Every outage slice keeps acking the dead shard's keyspace."""
+        assert replicated_run.dead_files
+        buckets = outage_buckets(replicated_run)
+        assert all(count > 0 for count in buckets), buckets
+
+    def test_runtime_checker_is_clean_and_saw_the_protocol(
+        self, replicated_run
+    ):
+        run = replicated_run
+        assert run.checker.violations == []
+        run.report.assert_ok()
+        assert run.result.failed_requests == 0
+        assert run.checker.appends_seen > 0
+        assert run.checker.commits_seen == run.checker.appends_seen
+        assert run.checker.handoffs_seen == 2
+        assert run.checker.duplicate_acks == 0
+
+    def test_failover_and_catchup_counters(self, replicated_run):
+        replicator = replicated_run.replicator
+        assert replicator.handoffs == 2  # kill handoff + rejoin handback
+        assert replicator.mirrored_writes > 0
+        assert replicator.solo_acks > 0
+        assert replicator.catchup_replays > 0
+        assert replicator.mirror_failures == 0
+        assert replicated_run.server.steering.dropped == 0
+
+    def test_throughput_holds_through_the_outage(
+        self, replicated_run, replicated_table
+    ):
+        # The headline difference from the unreplicated bench: overall
+        # acked throughput barely dips while the shard is dark, because
+        # the backup absorbs the dead keyspace immediately.
+        stats = replicated_table
+        outage_ids = [
+            bucket
+            for bucket in stats.buckets
+            if bucket * BUCKET >= KILL_AT
+            and (bucket + 1) * BUCKET <= KILL_AT + DOWN_FOR
+        ]
+        assert outage_ids
+        outage_rate = sum(
+            stats.buckets.get(bucket, 0) for bucket in outage_ids
+        ) / (len(outage_ids) * BUCKET)
+        assert outage_rate >= 0.8 * stats.steady
+
+    def test_same_seed_reproduces_the_replicated_run(self, replicated_run):
+        again = run_replicated_bench(seed=13)
+        assert replicated_run.injector.fault_log_lines() == (
+            again.injector.fault_log_lines()
+        )
+        assert replicated_run.digest == again.digest
+        assert replicated_run.acks == again.acks

@@ -96,9 +96,13 @@ class LintConfig:
     shared_files: Tuple[str, ...] = (
         "core/offload_engine.py",
         "topology/sharding.py",
+        "topology/replication.py",
     )
     instrumented_prefixes: Tuple[str, ...] = ("structures/",)
-    instrumented_files: Tuple[str, ...] = ("core/offload_engine.py",)
+    instrumented_files: Tuple[str, ...] = (
+        "core/offload_engine.py",
+        "topology/replication.py",
+    )
     sim_prefixes: Tuple[str, ...] = (
         "sim/",
         "hardware/",

@@ -1,8 +1,9 @@
 """The machine-readable performance trajectory (``BENCH_<name>.json``).
 
 Every PR leaves a perf record: this module runs pinned workloads —
-the Figure 16 peak-throughput sweep, the 4-shard scale-out run, and the
-chaos shard-kill recovery — and emits one JSON file per workload with
+the Figure 16 peak-throughput sweep, the 4-shard scale-out run, the
+chaos shard-kill recovery, and the replicated-failover run (replication
+tax + availability curve) — and emits one JSON file per workload with
 the engine's events/sec, wall time, and peak simulated IOPS.  CI runs
 the same workloads at ``--mode smoke`` scale and fails when events/sec
 regresses against the committed baselines (see ``--check``).
@@ -267,10 +268,197 @@ def _run_chaos(mode: str) -> dict:
     }
 
 
+def _run_replication(mode: str) -> dict:
+    """Replicated shard groups: the replication tax and the failover.
+
+    Two measurements in one record:
+
+    * **tax** — the same write-heavy no-fault workload against a plain
+      4-shard deployment and a replicated one; the peak-IOPS ratio is
+      the price of the synchronous quorum hop on every write.
+    * **failover** — the replicated deployment takes the chaos
+      shard-kill; the detail records dead-keyspace acks per half-ms of
+      the outage (``zero_dark_window`` says none of them was silent)
+      and the runtime invariant checker's verdict.
+    """
+    from ..core.client import ClientConfig, DdsClient, WorkloadClient
+    from ..core.messages import IoRequest, OpCode
+    from ..faults import (
+        FaultInjector,
+        FaultPlan,
+        ReplicationInvariantChecker,
+        ShardKill,
+    )
+    from ..hardware.nic import NetworkLink
+    from ..sim import Environment
+    from ..storage.disk import RamDisk, SpdkBdev
+    from ..storage.filesystem import DdsFileSystem
+    from ..topology.sharding import ShardedOffloadServer
+
+    io_size = 1024
+    files = 16
+    file_bytes = 1 << 20
+    slots = file_bytes // io_size
+    tax_requests = 6000 if mode == "full" else 1500
+    kill_at, down_for = 2e-3, 3e-3
+    # 400k offered IOPS for 2400 requests keeps load on the wire for
+    # 6 ms — past the end of the 2–5 ms outage in both modes, so the
+    # availability curve is fully populated.
+    failover_requests = 2400
+
+    def build(env):
+        disk = RamDisk(files * file_bytes + (64 << 20))
+        fs = DdsFileSystem(env, SpdkBdev(env, disk))
+        fs.create_directory("bench")
+        file_ids = []
+        for index in range(files):
+            file_id = fs.create_file("bench", f"repl-file-{index}")
+            fs.preallocate(file_id, file_bytes)
+            file_ids.append(file_id)
+        server = ShardedOffloadServer(
+            env, NetworkLink(env), fs, shard_count=4
+        )
+        return server, file_ids
+
+    def factory_for(file_ids):
+        def factory(request_id, rng):
+            if request_id % 2 == 0:  # write-heavy: the tax is per write
+                ordinal = request_id // 2
+                file_id = file_ids[ordinal % files]
+                offset = ((ordinal // files) % slots) * io_size
+                payload = request_id.to_bytes(8, "little") * (io_size // 8)
+                return IoRequest(
+                    OpCode.WRITE, request_id, file_id, offset, io_size,
+                    payload,
+                )
+            file_id = file_ids[rng.randrange(files)]
+            offset = rng.randrange(slots) * io_size
+            return IoRequest(
+                OpCode.READ, request_id, file_id, offset, io_size
+            )
+
+        return factory
+
+    wall_start = time.perf_counter()
+    events = 0
+
+    # -- replication tax: plain vs replicated, no faults ---------------
+    tax_iops = {}
+    for variant in ("plain", "replicated"):
+        env = Environment()
+        server, file_ids = build(env)
+        if variant == "replicated":
+            server.enable_replication()
+        config = ClientConfig(
+            offered_iops=1.2e6,
+            total_requests=tax_requests,
+            io_size=io_size,
+            batch=4,
+            connections=8,
+            max_outstanding=160,
+            file_size=file_bytes,
+            seed=7,
+        )
+        client = WorkloadClient(
+            env, server, file_ids[0], config,
+            request_factory=factory_for(file_ids),
+        )
+        tax_iops[variant] = client.run().achieved_iops
+        events += env.scheduled_count
+
+    # -- failover availability under a shard kill ----------------------
+    env = Environment()
+    server, file_ids = build(env)
+    dedup = server.enable_resilience()
+    checker = ReplicationInvariantChecker(env)
+    replicator = server.enable_replication(checker)
+    plan = FaultPlan(
+        seed=13,
+        events=(ShardKill(at=kill_at, down_for=down_for, shard=2),),
+    )
+    injector = FaultInjector(env, server, plan).arm()
+    acks = []
+
+    class _Timeline:
+        def on_issue(self, request):
+            checker.on_issue(request)
+
+        def on_ack(self, request, response):
+            checker.on_ack(request, response)
+            if response.ok:
+                acks.append((env.now, request.file_id))
+
+        def on_give_up(self, request):
+            checker.on_give_up(request)
+
+    config = ClientConfig(
+        offered_iops=400e3,
+        total_requests=failover_requests,
+        io_size=io_size,
+        batch=4,
+        connections=16,
+        max_outstanding=512,
+        file_size=file_bytes,
+        seed=13,
+    )
+    client = DdsClient(
+        env, server, file_ids[0], config,
+        request_factory=factory_for(file_ids), observer=_Timeline(),
+    )
+    result = client.run()
+    # Bounded drain until the injector logs the recovery: anti-entropy
+    # catch-up outlasts the workload, and the resilience layer keeps
+    # the event queue populated forever (never drain with a bare run).
+    for _ in range(120):
+        if any(r.kind == "shard-recover" for r in injector.fault_log):
+            break
+        env.run(until=env.timeout(1e-3))
+    env.run(until=env.timeout(1e-3))
+    events += env.scheduled_count
+    wall = time.perf_counter() - wall_start
+
+    dead_files = frozenset(
+        file_id for file_id in file_ids
+        if server.shard_map.owner(file_id) == 2
+    )
+    window = 5e-4
+    dead_acks = [0] * int(down_for / window)
+    for stamp, file_id in acks:
+        if file_id in dead_files and kill_at <= stamp < kill_at + down_for:
+            dead_acks[int((stamp - kill_at) / window)] += 1
+    report = checker.check(server, dedup=dedup)
+    plain, replicated = tax_iops["plain"], tax_iops["replicated"]
+    return {
+        "wall_seconds": wall,
+        "events": events,
+        "peak_iops": replicated,
+        "detail": {
+            "tax": {
+                "plain_iops": round(plain, 1),
+                "replicated_iops": round(replicated, 1),
+                "tax_pct": round(100.0 * (1.0 - replicated / plain), 2),
+                "total_requests": tax_requests,
+            },
+            "failover": {
+                "dead_acks_per_half_ms": dead_acks,
+                "zero_dark_window": all(c > 0 for c in dead_acks),
+                "violations": len(checker.violations),
+                "report_ok": report.ok,
+                "failed_requests": result.failed_requests,
+                "handoffs": replicator.handoffs,
+                "solo_acks": replicator.solo_acks,
+                "mirrored_writes": replicator.mirrored_writes,
+                "catchup_replays": replicator.catchup_replays,
+            },
+        },
+    }
+
+
 WORKLOADS: Dict[str, Callable[[str], dict]] = {
     "fig16": _run_fig16,
     "scaleout": _run_scaleout,
     "chaos": _run_chaos,
+    "replication": _run_replication,
 }
 
 

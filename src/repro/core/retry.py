@@ -124,3 +124,20 @@ class CircuitBreaker:
             self.times_opened += 1
             self._retry_at = self.env.now + self.recovery_time
             self._transition(self.OPEN)
+
+    def reset(self) -> None:
+        """Forget accumulated failures after the engine was *replaced*.
+
+        ``recover_shard`` calls this once a crashed shard's engine has
+        been rebuilt: dispatches that were already past the director's
+        alive check when the DPU died kept feeding ``record_failure``,
+        so without the reset a recovered shard would start open (or
+        half-open) for the previous crash's failures and bounce its
+        first requests to the host for no reason.  An ``EngineCrash``
+        without recovery keeps the ordinary half-open probe behaviour —
+        only a full shard recovery earns a clean slate.
+        """
+        self.failures = 0
+        self._retry_at = 0.0
+        if self.state != self.CLOSED:
+            self._transition(self.CLOSED)

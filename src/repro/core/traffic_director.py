@@ -95,6 +95,10 @@ class TrafficDirector:
         #: Consistent-hash file→shard map (multi-DPU deployments only).
         self.shard_map = shard_map
         self.shard_id = shard_id
+        #: Optional keyspace→acting-shard override (replicated
+        #: deployments route to the group leader instead of the static
+        #: owner, so a dead primary's keyspace is served by its backup).
+        self.route: Optional[Callable[[int], int]] = None
         #: Sibling directors indexed by shard id; the sharded deployment
         #: assigns this once every shard is constructed.
         self.peers: List["TrafficDirector"] = []
@@ -175,6 +179,8 @@ class TrafficDirector:
         batches: Dict[int, List[IoRequest]] = {}
         for request in requests:
             owner = self.shard_map.owner(request.file_id)
+            if self.route is not None:
+                owner = self.route(owner)
             batches.setdefault(owner, []).append(request)
         local = batches.pop(self.shard_id, None)
         for shard_id in sorted(batches):

@@ -14,7 +14,12 @@ Every fault draws its randomness from the plan's seed, so a chaos run
 is replayable: same seed, same fault log, same final state.
 """
 
-from .durability import DurabilityChecker, DurabilityReport
+from .durability import (
+    DurabilityChecker,
+    DurabilityReport,
+    InvariantViolation,
+    ReplicationInvariantChecker,
+)
 from .injector import FaultInjector
 from .netem import NetworkChaos
 from .plan import (
@@ -36,8 +41,10 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
+    "InvariantViolation",
     "NetworkChaos",
     "NicFault",
+    "ReplicationInvariantChecker",
     "ShardKill",
     "SsdErrorBurst",
     "SsdLatencySpike",

@@ -33,9 +33,14 @@ _LAZY = {
     "ShardedSteering": "sharding",
     "flow_shard": "sharding",
     "mirror_filesystem": "sharding",
+    "CommitRecord": "replication",
+    "ReplicaGroup": "replication",
+    "ShardReplicator": "replication",
+    "WriteRecord": "replication",
 }
 
 __all__ = [
+    "CommitRecord",
     "ConsistentHashShardMap",
     "DdsBackend",
     "DdsHostSide",
@@ -44,7 +49,9 @@ __all__ = [
     "FilesystemKind",
     "OffloadShard",
     "OsFileExecution",
+    "ReplicaGroup",
     "SOLUTIONS",
+    "ShardReplicator",
     "ShardedOffloadServer",
     "ShardedSteering",
     "Stage",
@@ -53,6 +60,7 @@ __all__ = [
     "TransportStage",
     "WireEgress",
     "WireIngress",
+    "WriteRecord",
     "build_server",
     "flow_shard",
     "headline_solutions",

@@ -1,0 +1,450 @@
+"""Replicated shard groups: synchronous primary→backup mirroring.
+
+ROADMAP item 1: the §4.3 raw-disk recovery is crash-consistent but not
+*available* — a killed shard's keyspace goes dark for the whole outage.
+This module closes that window with SWARM-style near-free replication
+(PAPERS.md): every write is applied on the owning primary and
+synchronously mirrored to one deterministic backup peer over the
+existing director→director relay fabric, and the client ack waits for
+the quorum (both members when both are alive, the survivor alone when
+one is dark).
+
+* :class:`ReplicaGroup` — the per-keyspace replication state: one shared
+  write log (the simulator's model of the replicated log), per-member
+  applied sets with contiguous watermarks (mirrors complete out of
+  order, so the applied *prefix* is what log-prefix agreement is checked
+  against), the current leader, and a monotonic epoch bumped on every
+  leadership change.
+* :class:`ShardReplicator` — the deployment-level protocol driver:
+  routes each keyspace to its acting leader (the director's ``route``
+  hook), mirrors writes with relay-fabric costs, runs the deterministic
+  leader handoff on ``kill_shard``, and replays the survivor's log into
+  a recovered member (anti-entropy catch-up) before it rejoins.
+
+Every protocol step reports to an optional observer (the Derecho-style
+runtime invariant checker in :mod:`repro.faults.durability`), so the
+invariants are checked *while* chaos runs, not just post-hoc.
+
+Group membership is deterministic: shard ``k``'s group is
+``(primary=k, backup=(k+1) % N)``, so with N shards every shard is the
+primary of its own keyspace and the backup of its predecessor's.
+Handoff is equally deterministic — the primary leads whenever it is
+alive, the backup leads otherwise — which is what lets two runs of the
+same seed produce identical failover trajectories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional, Tuple
+
+from ..concurrency.hooks import yield_point
+from ..core.messages import IoRequest
+from ..core.traffic_director import TrafficDirector
+from ..sim import Environment
+from ..storage.filesystem import FileSystemError
+from ..structures.atomics import AtomicCounter
+
+if TYPE_CHECKING:
+    from .sharding import ShardedOffloadServer
+
+__all__ = ["WriteRecord", "CommitRecord", "ReplicaGroup", "ShardReplicator"]
+
+
+def _digest(payload: bytes) -> str:
+    """Short stable content digest for log records and violation text."""
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One entry of a replica group's write log."""
+
+    lsn: int
+    epoch: int
+    request_id: int
+    file_id: int
+    offset: int
+    size: int
+    digest: str
+    payload: bytes = b""
+
+    def describe(self) -> str:
+        return (
+            f"lsn={self.lsn} epoch={self.epoch} rid={self.request_id} "
+            f"file={self.file_id} off={self.offset} digest={self.digest}"
+        )
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """Quorum state of one write at the moment its ack was released."""
+
+    request_id: int
+    keyspace: int
+    lsn: int
+    epoch: int
+    #: Members that had applied the write when the ack was released.
+    applied: Tuple[int, ...]
+    #: Members that were alive when the ack was released.
+    live: Tuple[int, ...]
+
+
+class ReplicaGroup:
+    """Replication state for one keyspace (one primary, one backup).
+
+    The log is shared between the members — it models the replicated
+    log, and *log-prefix agreement* is the invariant that each member's
+    applied prefix (its watermark) is a prefix of it.  Applied lsns land
+    in per-member sets because concurrent mirrors complete out of order;
+    the watermark only advances over a contiguous prefix.
+
+    All mutations run under the group lock with a preceding
+    ``yield_point``, so the deterministic interleaving harness can drive
+    concurrent appenders, mirrors, and handoffs through every schedule.
+    """
+
+    def __init__(self, keyspace: int, primary: int, backup: int) -> None:
+        if primary == backup:
+            raise ValueError("a replica group needs two distinct members")
+        self.keyspace = keyspace
+        self.primary = primary
+        self.backup = backup
+        self.members: Tuple[int, int] = (primary, backup)
+        self.leader = primary
+        self.epoch = 0
+        self.log: list = []
+        self._applied: Dict[int, set] = {primary: set(), backup: set()}
+        self._watermark: Dict[int, int] = {primary: 0, backup: 0}
+        self._lock = threading.Lock()
+        self._key = ("replica-group", keyspace)
+
+    # ------------------------------------------------------------------
+    # log writes
+    # ------------------------------------------------------------------
+    def append_record(
+        self, request_id: int, file_id: int, offset: int, payload: bytes
+    ) -> WriteRecord:
+        """Append one write to the log; the lsn is assigned atomically."""
+        yield_point("replication.append", self._key)
+        with self._lock:
+            record = WriteRecord(
+                lsn=len(self.log),
+                epoch=self.epoch,
+                request_id=request_id,
+                file_id=file_id,
+                offset=offset,
+                size=len(payload),
+                digest=_digest(payload),
+                payload=payload,
+            )
+            self.log.append(record)
+        return record
+
+    def mark_applied(self, member: int, lsn: int) -> None:
+        """Record that ``member`` has applied log entry ``lsn``."""
+        if member not in self._applied:
+            raise ValueError(f"shard {member} is not in group {self.keyspace}")
+        yield_point("replication.apply", self._key)
+        with self._lock:
+            self._applied[member].add(lsn)
+            while self._watermark[member] in self._applied[member]:
+                self._watermark[member] += 1
+
+    # ------------------------------------------------------------------
+    # reads (single attribute/dict reads are GIL-indivisible; the lock
+    # is reserved for the compound mutations above)
+    # ------------------------------------------------------------------
+    def has_applied(self, member: int, lsn: int) -> bool:
+        return lsn in self._applied[member]
+
+    def applied_watermark(self, member: int) -> int:
+        """Length of ``member``'s contiguous applied log prefix."""
+        return self._watermark[member]
+
+    def next_unapplied(self, member: int) -> Optional[int]:
+        """Lowest lsn ``member`` has not applied, or None if caught up."""
+        mark = self._watermark[member]
+        return mark if mark < len(self.log) else None
+
+    def record(self, lsn: int) -> WriteRecord:
+        return self.log[lsn]
+
+    # ------------------------------------------------------------------
+    # leadership
+    # ------------------------------------------------------------------
+    def elect(self, alive: Callable[[int], bool]) -> Tuple[int, int, bool]:
+        """Deterministic re-election: the primary leads whenever it is
+        alive, else the backup; both dark leaves the leader unchanged
+        (nothing can serve either way).  Returns (old leader, new
+        leader, changed); the epoch bumps exactly when leadership moves.
+        """
+        yield_point("replication.elect", self._key)
+        with self._lock:
+            old = self.leader
+            if alive(self.primary):
+                new = self.primary
+            elif alive(self.backup):
+                new = self.backup
+            else:
+                new = old
+            changed = new != old
+            if changed:
+                self.leader = new
+                self.epoch += 1
+        return old, new, changed
+
+
+class ShardReplicator:
+    """Drives the replication protocol over a sharded deployment.
+
+    Constructed by :meth:`ShardedOffloadServer.enable_replication`; the
+    optional ``observer`` (a
+    :class:`~repro.faults.durability.ReplicationInvariantChecker`)
+    receives a synchronous callback at every protocol step:
+    ``on_append``, ``on_apply``, ``on_commit``, ``on_handoff``,
+    ``on_rejoin``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        server: "ShardedOffloadServer",
+        observer=None,
+    ) -> None:
+        shard_count = len(server.shards)
+        if shard_count < 2:
+            raise ValueError("replication needs at least two shards")
+        self.env = env
+        self.server = server
+        self.observer = observer
+        self.groups: Dict[int, ReplicaGroup] = {
+            index: ReplicaGroup(
+                keyspace=index,
+                primary=index,
+                backup=(index + 1) % shard_count,
+            )
+            for index in range(shard_count)
+        }
+        #: request_id -> quorum state at ack time (the runtime checker's
+        #: no-ack-before-quorum evidence).
+        self.commits: Dict[int, CommitRecord] = {}
+        self._lock = threading.Lock()
+        self._key = ("replicator", id(self))
+        self._mirrored = AtomicCounter(0)
+        self._solo_acks = AtomicCounter(0)
+        self._handoffs = AtomicCounter(0)
+        self._catchup_replays = AtomicCounter(0)
+        self._mirror_failures = AtomicCounter(0)
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    @property
+    def mirrored_writes(self) -> int:
+        """Writes successfully applied on the backup before their ack."""
+        return self._mirrored.load()
+
+    @property
+    def solo_acks(self) -> int:
+        """Writes acked by a lone survivor (the peer was dark)."""
+        return self._solo_acks.load()
+
+    @property
+    def handoffs(self) -> int:
+        """Leadership changes (kill-triggered plus rejoin-triggered)."""
+        return self._handoffs.load()
+
+    @property
+    def catchup_replays(self) -> int:
+        """Log entries replayed into recovering members."""
+        return self._catchup_replays.load()
+
+    @property
+    def mirror_failures(self) -> int:
+        """Mirror applies that failed at the peer's filesystem."""
+        return self._mirror_failures.load()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def leader_of(self, keyspace: int) -> int:
+        """The shard currently serving ``keyspace`` (the director's
+        ``route`` hook)."""
+        return self.groups[keyspace].leader
+
+    def _alive(self, member: int) -> bool:
+        return self.server.shards[member].alive
+
+    # ------------------------------------------------------------------
+    # write path (called by the serving shard after its local apply,
+    # before the client ack is released)
+    # ------------------------------------------------------------------
+    def replicate(self, executor: int, request: IoRequest) -> Generator:
+        """Log + mirror one applied write; returns once the quorum holds.
+
+        ``executor`` is the shard whose filesystem already holds the
+        write (the acting leader).  The record is appended, the peer is
+        mirrored synchronously over the relay fabric when alive, and the
+        quorum state at ack time is recorded for the runtime checker.
+
+        Returns ``True`` when the group committed the write.  ``False``
+        means the executor died between its local apply and this hop:
+        the write exists only on the dead member's disk, so the caller
+        must *fail* the response — a success would land in the shared
+        dedup table and be replayed to the retrying client by the new
+        leader without ever reaching the group log (an ack below
+        quorum).  Failing it makes the dedup entry abandon, and the
+        retry re-executes on the acting leader.
+        """
+        server = self.server
+        keyspace = server.shard_map.owner(request.file_id)
+        group = self.groups[keyspace]
+        if not self._alive(executor) or executor not in group.members:
+            return False
+        record = group.append_record(
+            request.request_id, request.file_id, request.offset,
+            request.payload or b"",
+        )
+        if self.observer is not None:
+            self.observer.on_append(group, record, executor)
+        group.mark_applied(executor, record.lsn)
+        if self.observer is not None:
+            self.observer.on_apply(group, record, executor, catchup=False)
+        peer = group.backup if executor == group.primary else group.primary
+        if self._alive(peer):
+            yield from self._mirror_to(executor, peer, group, record, request)
+        applied = tuple(
+            m for m in group.members if group.has_applied(m, record.lsn)
+        )
+        live = tuple(m for m in group.members if self._alive(m))
+        commit = CommitRecord(
+            request_id=request.request_id,
+            keyspace=keyspace,
+            lsn=record.lsn,
+            epoch=record.epoch,
+            applied=applied,
+            live=live,
+        )
+        yield_point("replication.commit", self._key)
+        with self._lock:
+            self.commits[request.request_id] = commit
+        if len(applied) < 2:
+            self._solo_acks.fetch_add(1)
+        if self.observer is not None:
+            self.observer.on_commit(group, record, commit)
+        return True
+
+    def _mirror_to(
+        self,
+        executor: int,
+        peer: int,
+        group: ReplicaGroup,
+        record: WriteRecord,
+        request: IoRequest,
+    ) -> Generator:
+        """One synchronous backup apply over the director relay fabric.
+
+        Charged like the §5.3 bump-in-the-wire forward the relay path
+        already pays: Arm-core forward cost on the executor, the DPU→DPU
+        fabric hop, receive cost on the peer, then a device-timed write
+        into the peer's filesystem.
+        """
+        server = self.server
+        link = server.link
+        packets = link.packets_for(request.wire_size)
+        yield from server.shards[executor].cores[0].execute(
+            TrafficDirector.FORWARD_COST_PER_PACKET * packets
+        )
+        yield self.env.timeout(link.spec.dpu_forward)
+        if not self._alive(peer):
+            return  # the peer died in flight: catch-up will replay
+        yield from server.shards[peer].cores[0].execute(
+            TrafficDirector.RX_COST_PER_PACKET * packets
+        )
+        try:
+            yield from server.filesystems[peer].write(
+                record.file_id, record.offset, record.payload
+            )
+        except FileSystemError:
+            # The peer's device refused the mirror: the write stays
+            # below quorum and the runtime checker flags its ack.
+            self._mirror_failures.fetch_add(1)
+            return
+        if not self._alive(peer):
+            # Died mid-write: do not count the apply — anti-entropy
+            # re-replays it idempotently during recovery.
+            return
+        group.mark_applied(peer, record.lsn)
+        self._mirrored.fetch_add(1)
+        if self.observer is not None:
+            self.observer.on_apply(group, record, peer, catchup=False)
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+    def on_kill(self, index: int) -> None:
+        """Deterministic leader handoff after ``kill_shard(index)``.
+
+        Runs synchronously inside ``kill_shard`` (no simulation yield
+        between the alive flip and the re-election), so the backup
+        serves the dead shard's keyspace from the very next event.
+        """
+        self._reelect(index)
+
+    def on_rejoin(self, index: int) -> None:
+        """Hand leadership back after catch-up completed."""
+        self._reelect(index)
+        if self.observer is not None:
+            for group in self._groups_of(index):
+                self.observer.on_rejoin(group, index)
+
+    def _reelect(self, index: int) -> None:
+        for group in self._groups_of(index):
+            old, new, changed = group.elect(self._alive)
+            if changed:
+                self._handoffs.fetch_add(1)
+                if self.observer is not None:
+                    alive = tuple(
+                        m for m in group.members if self._alive(m)
+                    )
+                    self.observer.on_handoff(group, old, new, alive)
+
+    def _groups_of(self, index: int):
+        for keyspace in sorted(self.groups):
+            group = self.groups[keyspace]
+            if index in group.members:
+                yield group
+
+    # ------------------------------------------------------------------
+    # anti-entropy catch-up
+    # ------------------------------------------------------------------
+    def catch_up(self, index: int) -> Generator:
+        """Replay the survivor's log into a recovered member.
+
+        Runs inside ``recover_shard`` after the filesystem is rebuilt
+        from raw disk and *before* the shard is marked alive: every log
+        entry the member missed is re-written (device-timed, in lsn
+        order).  Writes keep landing on the acting leader while this
+        runs; the loop re-checks the log length after every replay and
+        returns with **no trailing yield**, so the caller's alive flip +
+        rejoin happen atomically after the final check — there is no
+        window for a write to slip past both catch-up and mirroring.
+        """
+        for group in self._groups_of(index):
+            while True:
+                lsn = group.next_unapplied(index)
+                if lsn is None:
+                    break
+                record = group.record(lsn)
+                yield from self.server.filesystems[index].write(
+                    record.file_id, record.offset, record.payload
+                )
+                group.mark_applied(index, lsn)
+                self._catchup_replays.fetch_add(1)
+                if self.observer is not None:
+                    self.observer.on_apply(
+                        group, record, index, catchup=True
+                    )

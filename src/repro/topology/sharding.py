@@ -22,7 +22,7 @@ from typing import Callable, Generator, List, Optional, Sequence
 
 from ..core.api import OffloadCallbacks, passthrough_callbacks
 from ..core.dedup import RequestDedup
-from ..core.messages import IoRequest, IoResponse
+from ..core.messages import IoRequest, IoResponse, OpCode
 from ..core.offload_engine import OffloadEngine
 from ..core.retry import CircuitBreaker
 from ..core.server import PipelineServer
@@ -43,6 +43,7 @@ from ..storage.filesystem import DdsFileSystem
 from ..structures.atomics import AtomicCounter
 from ..structures.cuckoo import CuckooCacheTable
 from ..structures.memory import BufferPool
+from .replication import ShardReplicator
 from .stages import DdsBackend, Stage, StageKind, WireIngress
 
 __all__ = [
@@ -168,6 +169,7 @@ class ShardedSteering(Stage):
         # per-shard load report disagree with the directors' own totals.
         self._steered = [AtomicCounter(0) for _ in shards]
         self._failovers = AtomicCounter(0)
+        self._dropped = AtomicCounter(0)
 
     @property
     def shard_loads(self) -> List[int]:
@@ -183,6 +185,15 @@ class ShardedSteering(Stage):
     def failovers(self) -> int:
         """Messages re-routed because their ingress shard was dead."""
         return self._failovers.load()
+
+    @property
+    def dropped(self) -> int:
+        """Messages lost at ingress because every shard was dead.
+
+        Chaos benches surface this so an ingress black-hole is
+        distinguishable from an in-flight loss (a message that reached
+        a director and died with it)."""
+        return self._dropped.load()
 
     def dpu_cores(self, elapsed: float) -> float:
         total = 0.0
@@ -214,6 +225,7 @@ class ShardedSteering(Stage):
                     self._failovers.fetch_add(1)
                     break
             else:
+                self._dropped.fetch_add(1)
                 return
         self._steered[shard.index].fetch_add(1)
         yield from shard.director.receive_message(flow, requests, respond)
@@ -247,6 +259,9 @@ class ShardedOffloadServer(PipelineServer):
         self.callbacks = callbacks
         self.host_app = host_app
         self.shard_map = ConsistentHashShardMap(shard_count, vnodes=vnodes)
+        #: Installed by :meth:`enable_replication`; None keeps every
+        #: datapath byte-identical to the unreplicated deployment.
+        self.replicator: Optional[ShardReplicator] = None
         #: Shard 0 serves the caller's filesystem; other shards get a
         #: mirrored namespace on their own SSD.
         self.filesystems = [filesystem] + [
@@ -294,7 +309,7 @@ class ShardedOffloadServer(PipelineServer):
                 callbacks,
                 cache_table,
                 engine,
-                self._host_handler_for(backend),
+                self._host_handler_for(index, backend),
                 rdma=rdma_transport,
                 shard_map=self.shard_map,
                 shard_id=index,
@@ -322,6 +337,34 @@ class ShardedOffloadServer(PipelineServer):
         # crashed mid-run can be rebuilt from raw disk via ``recover``.
         for fs in self.filesystems:
             fs.flush_metadata_sync()
+
+    @property
+    def steering(self) -> ShardedSteering:
+        """The deployment's steering stage (ingress counters live here)."""
+        return self._steering
+
+    # ------------------------------------------------------------------
+    # replication: replica groups, leader routing, quorum acks
+    # ------------------------------------------------------------------
+    def enable_replication(self, checker=None) -> ShardReplicator:
+        """Turn on replicated shard groups (ROADMAP item 1).
+
+        Every write is synchronously mirrored to its keyspace's backup
+        peer before the client ack, and each director routes requests to
+        the keyspace's *acting leader* instead of its static owner — so
+        a killed shard's keyspace keeps serving from the backup with
+        zero dark window.  ``checker`` (a
+        :class:`~repro.faults.durability.ReplicationInvariantChecker`)
+        receives every protocol step as it happens.
+        """
+        if self.replicator is not None:
+            raise RuntimeError("replication is already enabled")
+        self.replicator = ShardReplicator(self.env, self, observer=checker)
+        if checker is not None:
+            checker.attach(self.replicator)
+        for shard in self.shards:
+            shard.director.route = self.replicator.leader_of
+        return self.replicator
 
     # ------------------------------------------------------------------
     # resilience: dedup/breakers, crash, and crash-consistent recovery
@@ -358,7 +401,12 @@ class ShardedOffloadServer(PipelineServer):
             raise RuntimeError(f"shard {index} is already dead")
         shard.alive = False
         shard.director.alive = False
-        return shard.engine.crash()
+        dropped = shard.engine.crash()
+        if self.replicator is not None:
+            # Same simulation instant as the crash (no yield between):
+            # the backup leads the dead keyspace from the next event on.
+            self.replicator.on_kill(index)
+        return dropped
 
     def recover_shard(self, index: int) -> Generator:
         """Restart a killed shard from its raw disk.
@@ -384,22 +432,63 @@ class ShardedOffloadServer(PipelineServer):
         replaced[index] = fs
         self.filesystems = replaced
         shard.engine.restart()
+        if shard.director.breaker is not None:
+            # The breaker accumulated crash failures from dispatches
+            # that were already past the alive check when the shard
+            # died; a freshly recovered engine must not start half-open
+            # for the previous crash's failures.
+            shard.director.breaker.reset()
+        if self.replicator is not None:
+            # Anti-entropy: replay the log entries this member missed
+            # before it rejoins (and before leadership moves back).
+            yield from self.replicator.catch_up(index)
         shard.director.alive = True
         shard.alive = True
+        if self.replicator is not None:
+            # No yield since catch-up's final check: the rejoin and the
+            # leadership handback are atomic with the alive flip.
+            self.replicator.on_rejoin(index)
         return fs
 
-    def _host_handler_for(self, backend: DdsBackend) -> Callable:
+    def _host_handler_for(self, index: int, backend: DdsBackend) -> Callable:
         host_side = backend.host_side
 
         def handler(
             requests: Sequence[IoRequest], respond: Callable
         ) -> Generator:
-            return self._host_serve(host_side, requests, respond)
+            return self._host_serve(index, host_side, requests, respond)
 
         return handler
 
+    def _serve_one(
+        self, shard_index: int, handler: Callable, request: IoRequest
+    ) -> Generator:
+        """Serve one host-path request, then replicate applied writes.
+
+        The quorum hop (append + synchronous backup mirror) runs before
+        the response is released, so a client never sees an ack the
+        replica group has not committed.  When the group could *not*
+        commit (the executor died right after its local apply), the
+        response is converted to a failure: a success here would be
+        cached by the shared dedup table and replayed to the client's
+        retry by the new leader, acking a write the group never logged.
+        """
+        response: IoResponse = yield from handler(request)
+        if (
+            self.replicator is not None
+            and response.ok
+            and request.op is OpCode.WRITE
+        ):
+            committed = yield from self.replicator.replicate(
+                shard_index, request
+            )
+            if not committed:
+                response = IoResponse(request.request_id, ok=False)
+        return response
+
     def _host_serve(
         self,
+        shard_index: int,
         host_side,
         requests: Sequence[IoRequest],
         respond: Callable,
@@ -409,7 +498,10 @@ class ShardedOffloadServer(PipelineServer):
         yield from self.transport.process(message_bytes)
         yield from self.app_net.process(message_bytes)
         handler = self.host_app or host_side.serve
-        served = [self.env.process(handler(r)) for r in requests]
+        served = [
+            self.env.process(self._serve_one(shard_index, handler, r))
+            for r in requests
+        ]
         responses: List[IoResponse] = yield self.env.all_of(served)
         response_bytes = sum(r.wire_size for r in responses)
         yield from self.app_net.process(response_bytes)
