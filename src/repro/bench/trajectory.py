@@ -454,11 +454,239 @@ def _run_replication(mode: str) -> dict:
     }
 
 
+def _run_resharding(mode: str) -> dict:
+    """Elastic resharding under load: grow 2→3, drain back, stay live.
+
+    Three measurements in one record:
+
+    * **migration** — bytes/sec through the relay+copy plane for the
+      add and the drain migration, with dirty-recopy counts;
+    * **dark window** — moved-file acks bucketed per half-ms across
+      each migration window; ``zero_dark_window`` says every bucket in
+      which traffic was still offered saw at least one ack, i.e. no
+      file ever went silent around its cutover;
+    * **cost curve** — achieved IOPS per phase (steady / add-migration
+      / drain-migration / post) plus a no-reshard control run of the
+      same workload; ``reshard_tax_pct`` is the end-to-end throughput
+      price of performing both topology changes under load.
+    """
+    from ..core.client import ClientConfig, DdsClient
+    from ..core.messages import IoRequest, OpCode
+    from ..faults import ReplicationInvariantChecker
+    from ..hardware.nic import NetworkLink
+    from ..sim import Environment
+    from ..storage.disk import RamDisk, SpdkBdev
+    from ..storage.filesystem import DdsFileSystem
+    from ..topology.sharding import ShardedOffloadServer
+
+    io_size = 1024
+    files = 16
+    file_bytes = 64 << 10
+    slots = file_bytes // io_size
+    # Moderate offered load on 2 shards: saturation starves the copy
+    # plane and the migrations would run after traffic, measuring
+    # nothing (see tests/test_resharding.py).
+    offered = 150e3
+    total_requests = 6000 if mode == "full" else 3000
+    add_at, drain_gap = 1e-3, 3e-4
+    window = 5e-4
+
+    def build(env):
+        disk = RamDisk(files * file_bytes + (64 << 20))
+        fs = DdsFileSystem(env, SpdkBdev(env, disk))
+        fs.create_directory("bench")
+        file_ids = []
+        for index in range(files):
+            file_id = fs.create_file("bench", f"reshard-file-{index}")
+            fs.preallocate(file_id, file_bytes)
+            file_ids.append(file_id)
+        server = ShardedOffloadServer(
+            env, NetworkLink(env), fs, shard_count=2
+        )
+        return server, file_ids
+
+    def factory_for(file_ids):
+        def factory(request_id, rng):
+            if request_id % 4 == 0:
+                ordinal = request_id // 4
+                file_id = file_ids[ordinal % files]
+                offset = ((ordinal // files) % slots) * io_size
+                payload = request_id.to_bytes(8, "little") * (io_size // 8)
+                return IoRequest(
+                    OpCode.WRITE, request_id, file_id, offset, io_size,
+                    payload,
+                )
+            file_id = file_ids[rng.randrange(files)]
+            offset = rng.randrange(slots) * io_size
+            return IoRequest(
+                OpCode.READ, request_id, file_id, offset, io_size
+            )
+
+        return factory
+
+    def config():
+        return ClientConfig(
+            offered_iops=offered,
+            total_requests=total_requests,
+            io_size=io_size,
+            batch=4,
+            connections=16,
+            max_outstanding=512,
+            file_size=file_bytes,
+            seed=17,
+        )
+
+    wall_start = time.perf_counter()
+    events = 0
+
+    # -- control: identical workload, fixed 2-shard topology -----------
+    env = Environment()
+    server, file_ids = build(env)
+    server.enable_resilience()
+    server.enable_replication()
+    control_client = DdsClient(
+        env, server, file_ids[0], config(),
+        request_factory=factory_for(file_ids),
+    )
+    control_iops = control_client.run().achieved_iops
+    events += env.scheduled_count
+
+    # -- live reshard: add a shard mid-workload, then drain it ---------
+    env = Environment()
+    server, file_ids = build(env)
+    dedup = server.enable_resilience()
+    checker = ReplicationInvariantChecker(env)
+    server.enable_replication(checker)
+    resharder = server.enable_resharding()
+    acks = []
+
+    class _Timeline:
+        def on_issue(self, request):
+            checker.on_issue(request)
+
+        def on_ack(self, request, response):
+            checker.on_ack(request, response)
+            if response.ok:
+                acks.append((env.now, request.file_id))
+
+        def on_give_up(self, request):
+            checker.on_give_up(request)
+
+    marks = {}
+
+    def control_process():
+        yield env.timeout(add_at)
+        index = yield from server.add_shard()
+        marks["added"] = index
+        yield env.timeout(drain_gap)
+        yield from server.drain_shard(index)
+        marks["drained"] = index
+
+    env.process(control_process())
+    client = DdsClient(
+        env, server, file_ids[0], config(),
+        request_factory=factory_for(file_ids), observer=_Timeline(),
+    )
+    result = client.run()
+    # Bounded drain: the drain-side resize backfills the re-paired
+    # backup device-timed, and the resilience layer keeps the event
+    # queue populated forever (never drain with a bare run).
+    for _ in range(400):
+        if "drained" in marks:
+            break
+        env.run(until=env.timeout(1e-3))
+    env.run(until=env.timeout(1e-3))
+    events += env.scheduled_count
+    wall = time.perf_counter() - wall_start
+
+    reshard_iops = result.achieved_iops
+    last_ack = max(stamp for stamp, _ in acks)
+
+    migrations = []
+    dark_free = True
+    for record in resharder.history:
+        span = record["end"] - record["start"]
+        # Bucket moved-file acks across the migration window; only
+        # buckets where traffic was still offered can demand an ack.
+        measurable_end = min(record["end"], last_ack)
+        buckets = [0] * max(1, int((measurable_end - record["start"]) / window))
+        for stamp, file_id in acks:
+            if (
+                file_id in record["files"]
+                and record["start"] <= stamp < measurable_end
+            ):
+                index = min(
+                    len(buckets) - 1,
+                    int((stamp - record["start"]) / window),
+                )
+                buckets[index] += 1
+        dark_free = dark_free and all(count > 0 for count in buckets)
+        migrations.append({
+            "kind": record["kind"],
+            "files": len(record["files"]),
+            "bytes": record["bytes"],
+            "duration_ms": round(span * 1e3, 3),
+            "throughput_mb_s": round(
+                record["bytes"] / span / 1e6, 2
+            ) if span > 0 else 0.0,
+            "moved_acks_per_half_ms": buckets,
+        })
+
+    # Phase cost curve: achieved IOPS inside each timeline segment.
+    add_rec = resharder.history[0]
+    drain_rec = resharder.history[1]
+    boundaries = [
+        ("steady", 0.0, add_rec["start"]),
+        ("add_migration", add_rec["start"], add_rec["end"]),
+        ("between", add_rec["end"], drain_rec["start"]),
+        ("drain_migration", drain_rec["start"], min(drain_rec["end"], last_ack)),
+        ("post", min(drain_rec["end"], last_ack), last_ack),
+    ]
+    phases = []
+    for name, start, end in boundaries:
+        span = end - start
+        if span <= 0:
+            continue
+        count = sum(1 for stamp, _ in acks if start <= stamp < end)
+        phases.append({
+            "phase": name,
+            "duration_ms": round(span * 1e3, 3),
+            "achieved_iops": round(count / span, 1),
+        })
+
+    report = checker.check(server, dedup=dedup)
+    return {
+        "wall_seconds": wall,
+        "events": events,
+        "peak_iops": reshard_iops,
+        "detail": {
+            "control_iops": round(control_iops, 1),
+            "reshard_iops": round(reshard_iops, 1),
+            "reshard_tax_pct": round(
+                100.0 * (1.0 - reshard_iops / control_iops), 2
+            ),
+            "zero_dark_window": dark_free,
+            "migrations": migrations,
+            "cost_curve": phases,
+            "files_moved": resharder.files_moved,
+            "bytes_copied": resharder.bytes_copied,
+            "dirty_recopies": resharder.dirty_recopies,
+            "cutovers": resharder.cutovers,
+            "leftover_pins": server.shard_map.pinned_files,
+            "violations": len(checker.violations),
+            "report_ok": report.ok,
+            "failed_requests": result.failed_requests,
+            "total_requests": total_requests,
+        },
+    }
+
+
 WORKLOADS: Dict[str, Callable[[str], dict]] = {
     "fig16": _run_fig16,
     "scaleout": _run_scaleout,
     "chaos": _run_chaos,
     "replication": _run_replication,
+    "resharding": _run_resharding,
 }
 
 

@@ -243,6 +243,7 @@ class ReplicationInvariantChecker(DurabilityChecker):
         self.commits_seen = 0
         self.handoffs_seen = 0
         self.rejoins_seen = 0
+        self.resizes_seen = 0
         #: (keyspace, member) -> highest watermark observed (RI2).
         self._watermarks: Dict[Tuple[int, int], int] = {}
         #: keyspace -> highest epoch observed in a handoff (RI4).
@@ -361,6 +362,50 @@ class ReplicationInvariantChecker(DurabilityChecker):
                 f"advance past {last_epoch} on handoff",
             )
         self._epochs[group.keyspace] = group.epoch
+
+    def on_resize(
+        self, group, old_backup, new_backup, synced: int
+    ) -> None:
+        """Elastic pairing change (sync-before-adopt, RI5's sibling).
+
+        ``new_backup is None`` marks a retired keyspace's group being
+        dropped; ``old_backup is None`` marks a fresh group for a newly
+        added keyspace.  A backup *adoption* (both set) must only
+        happen once the incoming member holds the entire log — the same
+        no-dark-window rule RI5 enforces for rejoins.
+        """
+        self.resizes_seen += 1
+        if new_backup is None or old_backup is None:
+            self._epochs[group.keyspace] = max(
+                self._epochs.get(group.keyspace, 0), group.epoch
+            )
+            return
+        # The swap is completion-triggered, so by the time this
+        # callback runs new appends may already be mid-mirror — judge
+        # coverage by the evidence captured at the swap instant.
+        adoption = group.last_adoption
+        if adoption is None:
+            self._flag(
+                "RI5",
+                f"group {group.keyspace}: resize reported backup "
+                f"{new_backup} adopted but no swap was recorded",
+            )
+            return
+        member, mark, log_len = adoption
+        if member != new_backup or mark < log_len:
+            self._flag(
+                "RI5",
+                f"group {group.keyspace}: backup {member} adopted at "
+                f"watermark {mark} with {log_len} log entries",
+            )
+        # Adoption is a view change: fold the new epoch and watermark
+        # into the RI2/RI4 baselines so the next handoff/apply is
+        # judged against the post-resize state.
+        key = (group.keyspace, new_backup)
+        self._watermarks[key] = max(self._watermarks.get(key, 0), mark)
+        self._epochs[group.keyspace] = max(
+            self._epochs.get(group.keyspace, 0), group.epoch
+        )
 
     def on_rejoin(self, group, member: int) -> None:
         """RI5: catch-up finished before the member rejoined."""

@@ -156,6 +156,11 @@ class DdsFileSystem:
     def file_count(self) -> int:
         return len(self._files)
 
+    def file_ids(self) -> List[int]:
+        """Every file id in the namespace, sorted (deterministic order
+        for whole-namespace sweeps like resharding plans)."""
+        return sorted(self._files)
+
     def _meta(self, file_id: int) -> FileMeta:
         meta = self._files.get(file_id)
         if meta is None:

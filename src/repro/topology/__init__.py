@@ -37,6 +37,9 @@ _LAZY = {
     "ReplicaGroup": "replication",
     "ShardReplicator": "replication",
     "WriteRecord": "replication",
+    "FileMove": "resharding",
+    "ReshardingCoordinator": "resharding",
+    "ShardAutoscaler": "resharding",
 }
 
 __all__ = [
@@ -46,8 +49,11 @@ __all__ = [
     "DdsHostSide",
     "DeploymentSpec",
     "DirectorSteering",
+    "FileMove",
     "FilesystemKind",
     "OffloadShard",
+    "ReshardingCoordinator",
+    "ShardAutoscaler",
     "OsFileExecution",
     "ReplicaGroup",
     "SOLUTIONS",

@@ -115,10 +115,32 @@ class ReplicaGroup:
         self.members: Tuple[int, int] = (primary, backup)
         self.leader = primary
         self.epoch = 0
+        #: Prospective backups mid-sync: new writes are mirrored to
+        #: them live (marked via :meth:`mark_synced`, outside quorum),
+        #: so the resize backfill replays a *fixed* prefix instead of
+        #: chasing a growing log it can never catch under sustained
+        #: traffic.
+        self.joiners: frozenset = frozenset()
+        #: Cutover write fence: while set, new appends for this
+        #: keyspace stall (a bounded latency blip, never a failure) so
+        #: the in-flight mirror set can drain to zero — the only way
+        #: total joiner coverage is ever reached under saturation.
+        self.fenced = False
+        #: Joiner awaiting promotion to backup (set by
+        #: :meth:`request_adoption`, consumed by the completion-
+        #: triggered swap in :meth:`_maybe_adopt_locked`).
+        self._pending_adoption: Optional[int] = None
+        #: Evidence from the last swap: ``(member, synced watermark at
+        #: the swap instant, log length at the swap instant)`` — the
+        #: runtime checker verifies coverage was total *when it
+        #: happened*, not at some later observation point.
+        self.last_adoption: Optional[Tuple[int, int, int]] = None
         self.log: list = []
         self._applied: Dict[int, set] = {primary: set(), backup: set()}
         self._watermark: Dict[int, int] = {primary: 0, backup: 0}
-        self._lock = threading.Lock()
+        # Re-entrant: the completion-triggered swap in _maybe_adopt
+        # runs from inside mark_synced's critical section.
+        self._lock = threading.RLock()
         self._key = ("replica-group", keyspace)
 
     # ------------------------------------------------------------------
@@ -152,6 +174,44 @@ class ReplicaGroup:
             self._applied[member].add(lsn)
             while self._watermark[member] in self._applied[member]:
                 self._watermark[member] += 1
+
+    def mark_synced(self, member: int, lsns) -> None:
+        """Record log entries a *prospective* member holds on disk.
+
+        The resize sync path writes the log prefix into a shard that is
+        not (yet) in the group — membership is not required, and state
+        for former members is retained so a later re-adoption only
+        replays what they missed.
+        """
+        yield_point("replication.sync", self._key)
+        with self._lock:
+            applied = self._applied.setdefault(member, set())
+            applied.update(lsns)
+            mark = self._watermark.get(member, 0)
+            while mark in applied:
+                mark += 1
+            self._watermark[member] = mark
+            # The mirror that completes total coverage performs the
+            # pending swap itself — the only instant at which no append
+            # can be in flight.
+            self._maybe_adopt()
+
+    def synced_watermark(self, member: int) -> int:
+        """Like :meth:`applied_watermark`, but 0 for unknown members."""
+        return self._watermark.get(member, 0)
+
+    def add_joiner(self, member: int) -> int:
+        """Open live mirroring to a prospective backup.
+
+        Returns the join point: every lsn appended from here on reaches
+        ``member`` through the write path, so the caller's backfill only
+        has to replay entries *below* it (plus the bounded set of
+        writes that were mid-mirror at this instant).
+        """
+        yield_point("replication.join", self._key)
+        with self._lock:
+            self.joiners = self.joiners | {member}
+            return len(self.log)
 
     # ------------------------------------------------------------------
     # reads (single attribute/dict reads are GIL-indivisible; the lock
@@ -196,6 +256,77 @@ class ReplicaGroup:
                 self.epoch += 1
         return old, new, changed
 
+    def request_adoption(self, member: int) -> None:
+        """Arm the backup swap for a fully-backfilled joiner.
+
+        The swap itself is *completion-triggered*: it runs inside
+        whichever :meth:`mark_synced` call closes the joiner's last log
+        gap (or inside :meth:`try_adopt` when coverage is already
+        total).  Under sustained traffic some append is always
+        mid-mirror, so a polling caller could never observe total
+        coverage — but at the instant the closing mirror lands, every
+        appended lsn is marked, so swapping there is atomic and needs
+        no write fence.  A swap is a view change: the epoch bumps.
+        """
+        yield_point("replication.adopt", self._key)
+        with self._lock:
+            if member in self.members:
+                raise ValueError(
+                    f"shard {member} is already in group {self.keyspace}"
+                )
+            if self.leader != self.primary:
+                raise RuntimeError(
+                    f"group {self.keyspace}: cannot resize during failover"
+                )
+            self._pending_adoption = member
+
+    def fence(self) -> None:
+        """Raise the cutover write fence (new appends stall)."""
+        yield_point("replication.fence", self._key)
+        with self._lock:
+            self.fenced = True
+
+    def cancel_adoption(self) -> None:
+        """Abort a pending swap (failover mid-resize): drop the fence
+        and the pending joiner so writes flow again under the old
+        pairing."""
+        yield_point("replication.fence", self._key)
+        with self._lock:
+            member = self._pending_adoption
+            self._pending_adoption = None
+            self.fenced = False
+            if member is not None:
+                self.joiners = self.joiners - {member}
+
+    def try_adopt(self) -> bool:
+        """Attempt the pending swap now (the no-traffic fast path).
+        Returns True when no swap remains pending."""
+        self._maybe_adopt()
+        return self._pending_adoption is None
+
+    def _maybe_adopt(self) -> None:
+        yield_point("replication.adopt", self._key)
+        with self._lock:
+            member = self._pending_adoption
+            if member is None:
+                return
+            if self.leader != self.primary:
+                return  # failover mid-resize: hold until it settles
+            mark = self._watermark.get(member, 0)
+            if mark < len(self.log):
+                return
+            self._applied.setdefault(member, set())
+            self._watermark.setdefault(member, 0)
+            # The outgoing backup's applied state is retained for a
+            # cheaper future re-adoption.
+            self.backup = member
+            self.members = (self.primary, member)
+            self.joiners = self.joiners - {member}
+            self.epoch += 1
+            self._pending_adoption = None
+            self.fenced = False
+            self.last_adoption = (member, mark, len(self.log))
+
 
 class ShardReplicator:
     """Drives the replication protocol over a sharded deployment.
@@ -205,8 +336,12 @@ class ShardReplicator:
     :class:`~repro.faults.durability.ReplicationInvariantChecker`)
     receives a synchronous callback at every protocol step:
     ``on_append``, ``on_apply``, ``on_commit``, ``on_handoff``,
-    ``on_rejoin``.
+    ``on_rejoin``, ``on_resize``.
     """
+
+    #: Poll interval while a resize waits for its completion-triggered
+    #: backup swap (and the stall-detection horizon for re-backfills).
+    ADOPT_TICK = 250e-6
 
     def __init__(
         self,
@@ -214,19 +349,24 @@ class ShardReplicator:
         server: "ShardedOffloadServer",
         observer=None,
     ) -> None:
-        shard_count = len(server.shards)
-        if shard_count < 2:
+        members = sorted(
+            shard.index for shard in server.shards if not shard.retired
+        )
+        if len(members) < 2:
             raise ValueError("replication needs at least two shards")
         self.env = env
         self.server = server
         self.observer = observer
+        # Keyspace k's group is (primary=k, backup=next live member in
+        # cyclic order) — identical to (k+1) % N while membership is
+        # contiguous, and well-defined after drains leave holes.
         self.groups: Dict[int, ReplicaGroup] = {
-            index: ReplicaGroup(
-                keyspace=index,
-                primary=index,
-                backup=(index + 1) % shard_count,
+            member: ReplicaGroup(
+                keyspace=member,
+                primary=member,
+                backup=members[(rank + 1) % len(members)],
             )
-            for index in range(shard_count)
+            for rank, member in enumerate(members)
         }
         #: request_id -> quorum state at ack time (the runtime checker's
         #: no-ack-before-quorum evidence).
@@ -238,6 +378,7 @@ class ShardReplicator:
         self._handoffs = AtomicCounter(0)
         self._catchup_replays = AtomicCounter(0)
         self._mirror_failures = AtomicCounter(0)
+        self._resizes = AtomicCounter(0)
 
     # ------------------------------------------------------------------
     # counters
@@ -266,6 +407,11 @@ class ShardReplicator:
     def mirror_failures(self) -> int:
         """Mirror applies that failed at the peer's filesystem."""
         return self._mirror_failures.load()
+
+    @property
+    def resizes(self) -> int:
+        """Backup adoptions executed by :meth:`resize`."""
+        return self._resizes.load()
 
     # ------------------------------------------------------------------
     # routing
@@ -302,7 +448,18 @@ class ShardReplicator:
         server = self.server
         keyspace = server.shard_map.owner(request.file_id)
         group = self.groups[keyspace]
-        if not self._alive(executor) or executor not in group.members:
+        while group.fenced:
+            # Resize cutover in progress: hold the append (bounded — the
+            # fence lifts as soon as the in-flight mirrors drain).  No
+            # simulation yield separates this check from the append, so
+            # nothing slips under a fence raised afterwards.
+            yield self.env.timeout(self.ADOPT_TICK)
+        if not self._alive(executor) or executor != group.leader:
+            # Dead, demoted, or a resharding straggler (the file's
+            # keyspace flipped between routing and this hop — the old
+            # owner may even be the *backup* of the new group, and a
+            # non-leader append would break RI1).  Fail the response:
+            # the retry re-executes on the current leader.
             return False
         record = group.append_record(
             request.request_id, request.file_id, request.offset,
@@ -316,6 +473,14 @@ class ShardReplicator:
         peer = group.backup if executor == group.primary else group.primary
         if self._alive(peer):
             yield from self._mirror_to(executor, peer, group, record, request)
+        for joiner in group.joiners:
+            # Resize in progress: keep the prospective backup current so
+            # the backfill's prefix stays fixed.  Outside the quorum —
+            # marked synced, not applied.
+            if self._alive(joiner):
+                yield from self._mirror_to_joiner(
+                    executor, joiner, group, record, request
+                )
         applied = tuple(
             m for m in group.members if group.has_applied(m, record.lsn)
         )
@@ -377,10 +542,53 @@ class ShardReplicator:
             # Died mid-write: do not count the apply — anti-entropy
             # re-replays it idempotently during recovery.
             return
+        if peer not in group.members:
+            # The pairing resized while this mirror was in flight: the
+            # old backup took the bytes but left the group — its copy
+            # is history, not quorum.
+            return
         group.mark_applied(peer, record.lsn)
         self._mirrored.fetch_add(1)
         if self.observer is not None:
             self.observer.on_apply(group, record, peer, catchup=False)
+
+    def _mirror_to_joiner(
+        self,
+        executor: int,
+        joiner: int,
+        group: ReplicaGroup,
+        record: WriteRecord,
+        request: IoRequest,
+    ) -> Generator:
+        """Mirror one write to a prospective backup mid-resize.
+
+        Same relay-fabric cost model as :meth:`_mirror_to`, but the
+        apply lands in the *synced* ledger — a joiner is outside the
+        quorum until :meth:`ReplicaGroup.adopt_backup` admits it, so
+        the runtime checker's RI2/RI3 membership rules never see it.
+        """
+        server = self.server
+        link = server.link
+        packets = link.packets_for(request.wire_size)
+        yield from server.shards[executor].cores[0].execute(
+            TrafficDirector.FORWARD_COST_PER_PACKET * packets
+        )
+        yield self.env.timeout(link.spec.dpu_forward)
+        if not self._alive(joiner):
+            return  # the backfill loop re-replays it after recovery
+        yield from server.shards[joiner].cores[0].execute(
+            TrafficDirector.RX_COST_PER_PACKET * packets
+        )
+        try:
+            yield from server.filesystems[joiner].write(
+                record.file_id, record.offset, record.payload
+            )
+        except FileSystemError:
+            self._mirror_failures.fetch_add(1)
+            return
+        if not self._alive(joiner):
+            return
+        group.mark_synced(joiner, (record.lsn,))
 
     # ------------------------------------------------------------------
     # failover
@@ -448,3 +656,163 @@ class ShardReplicator:
                     self.observer.on_apply(
                         group, record, index, catchup=True
                     )
+
+    # ------------------------------------------------------------------
+    # elastic resize
+    # ------------------------------------------------------------------
+    def seed_from_clone(self, member: int, source: int) -> None:
+        """Credit a freshly cloned shard with ``source``'s applied
+        prefixes.
+
+        ``add_shard`` clones the new shard's namespace from an existing
+        disk, so every log entry ``source`` had applied at the clone
+        instant is already on the clone byte-for-byte — for each group
+        ``source`` belongs to, the clone's synced watermark starts at
+        ``source``'s applied watermark instead of zero, and the resize
+        backfill shrinks to the in-flight tail.  The caller must not
+        yield simulation time between the clone and this call.
+        """
+        for group in self._groups_of(source):
+            mark = group.applied_watermark(source)
+            if mark:
+                group.mark_synced(member, range(0, mark))
+
+    def resize(self) -> Generator:
+        """Re-derive the backup pairing for the current live membership.
+
+        Called by :meth:`ShardedOffloadServer.add_shard` (after the new
+        shard is wired, *before* any keyspace flips to it) and by
+        :meth:`~ShardedOffloadServer.drain_shard` (after the drained
+        shard's migration, before it is retired).  The pairing is the
+        same rule ``__init__`` uses — backup = next live member in
+        cyclic order — so a contiguous membership reproduces the
+        original ``(k + 1) % N`` groups exactly.
+
+        Each changed group is resized in two steps: the prospective
+        backup is *synced* (the log prefix it is missing is replayed
+        into its filesystem, device-timed, while writes keep landing on
+        the primary), then *adopted* with no simulation yield after the
+        final sync check — the same no-dark-window discipline as
+        :meth:`catch_up`.  RI1–RI5 hold throughout because the old
+        backup stays in the group (still mirroring, still quorum) until
+        the instant the new one is fully caught up.
+        """
+        members = sorted(
+            shard.index
+            for shard in self.server.shards
+            if not shard.retired
+        )
+        if len(members) < 2:
+            raise ValueError("replication needs at least two shards")
+        backup_of = {
+            member: members[(rank + 1) % len(members)]
+            for rank, member in enumerate(members)
+        }
+        for keyspace in sorted(self.groups):
+            if keyspace in backup_of:
+                continue
+            # The keyspace's owner drained: its files migrated away and
+            # its group has nothing left to protect.
+            yield_point("replication.resize", self._key)
+            with self._lock:
+                retired_group = self.groups.pop(keyspace)
+            if self.observer is not None:
+                self.observer.on_resize(
+                    retired_group, retired_group.backup, None, 0
+                )
+        for member in members:
+            group = self.groups.get(member)
+            if group is None:
+                new_group = ReplicaGroup(
+                    keyspace=member,
+                    primary=member,
+                    backup=backup_of[member],
+                )
+                yield_point("replication.resize", self._key)
+                with self._lock:
+                    self.groups[member] = new_group
+                if self.observer is not None:
+                    self.observer.on_resize(
+                        new_group, None, backup_of[member], 0
+                    )
+                continue
+            new_backup = backup_of[member]
+            if group.backup == new_backup:
+                continue
+            old_backup = group.backup
+            synced = yield from self._sync_member(group, new_backup)
+            group.request_adoption(new_backup)
+            if not group.try_adopt():
+                # Mirrors are in flight: fence new appends for this
+                # keyspace (a bounded latency blip) so the in-flight
+                # set drains to zero — under saturation some append is
+                # otherwise always mid-mirror and coverage never
+                # completes.  The swap fires inside the mirror that
+                # closes the last gap and lifts the fence itself.
+                group.fence()
+                last_mark = -1
+                while group.backup != new_backup:
+                    if group.leader != group.primary:
+                        # Failover mid-cutover: abort, writes flow
+                        # again under the old (still intact) pairing.
+                        group.cancel_adoption()
+                        raise RuntimeError(
+                            f"group {group.keyspace}: resize aborted "
+                            "by a failover mid-cutover"
+                        )
+                    yield self.env.timeout(self.ADOPT_TICK)
+                    mark = group.synced_watermark(new_backup)
+                    if mark == last_mark and self._alive(new_backup):
+                        # Wedged (e.g. a mirror skipped while the
+                        # joiner was dark): re-backfill the hole.
+                        synced += yield from self._replay_window(
+                            group, new_backup, len(group.log)
+                        )
+                        group.try_adopt()
+                    last_mark = mark
+            self._resizes.fetch_add(1)
+            if self.observer is not None:
+                self.observer.on_resize(group, old_backup, new_backup, synced)
+
+    def _sync_member(self, group: ReplicaGroup, member: int) -> Generator:
+        """Backfill ``group``'s log into a prospective backup.
+
+        The member is registered as a *joiner* first, so every write
+        appended from that instant mirrors to it through the ordinary
+        write path — the backfill then replays the **fixed** prefix
+        below the join point instead of chasing a log that grows faster
+        than a sequential replay can drain (under sustained traffic
+        that chase never converges).  Any lsn appended before the join
+        registration is already in the log (appends precede mirrors),
+        so prefix + live mirroring covers every entry.  Returns the
+        number of log entries backfilled.
+        """
+        join_at = group.add_joiner(member)
+        total = 0
+        while True:
+            mark = group.synced_watermark(member)
+            if mark >= join_at:
+                return total
+            total += yield from self._replay_window(group, member, join_at)
+
+    def _replay_window(
+        self, group: ReplicaGroup, member: int, upto: int
+    ) -> Generator:
+        """Device-timed replay of log window ``[watermark, upto)`` into
+        ``member``, coalesced to the latest record per ``(file_id,
+        offset)`` — earlier versions are dead bytes.  Returns the
+        number of log entries covered."""
+        mark = group.synced_watermark(member)
+        if mark >= upto:
+            return 0
+        latest: Dict[Tuple[int, int], WriteRecord] = {}
+        for lsn in range(mark, upto):
+            record = group.record(lsn)
+            latest[(record.file_id, record.offset)] = record
+        for record in sorted(latest.values(), key=lambda r: r.lsn):
+            yield from self.server.filesystems[member].write(
+                record.file_id, record.offset, record.payload
+            )
+            self._catchup_replays.fetch_add(1)
+        group.mark_synced(member, range(mark, upto))
+        return upto - mark

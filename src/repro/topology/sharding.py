@@ -13,12 +13,19 @@ on the host exactly as in the single-DPU deployment.
 
 Hashing is deliberately *not* Python's builtin ``hash`` (salted per
 process); splitmix64 keeps shard placement stable across runs.
+
+The topology is *elastic* (ROADMAP item 2): the shard map is versioned
+(epoch-stamped membership changes with per-file pinned cutover), and
+:meth:`ShardedOffloadServer.add_shard` / :meth:`~ShardedOffloadServer.
+drain_shard` grow and shrink a live deployment under traffic — the
+migration protocol itself lives in :mod:`repro.topology.resharding`.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
-from typing import Callable, Generator, List, Optional, Sequence
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.api import OffloadCallbacks, passthrough_callbacks
 from ..core.dedup import RequestDedup
@@ -67,13 +74,23 @@ def _splitmix64(value: int) -> int:
 
 
 class ConsistentHashShardMap:
-    """File id → owning shard, via a consistent-hash ring.
+    """File id → owning shard, via a versioned consistent-hash ring.
 
     Each shard contributes ``vnodes`` points on a 64-bit ring; a file id
     belongs to the first point clockwise of its hash.  Virtual nodes keep
-    the split even (within a few percent at 64 vnodes), and adding a
-    shard only moves ~1/N of the keys — the property that makes on-line
-    rebalancing plausible future work.
+    the per-shard share near fair (within ~15% relative at 64 vnodes —
+    see ``tests/test_sharding_properties.py`` for the measured bound),
+    and a shard's points are derived from its id alone, so adding or
+    removing a shard perturbs only ~1/N of the keys and leaves every
+    unchanged key's placement byte-stable.
+
+    The map is *versioned*: :meth:`add_shard` / :meth:`remove_shard`
+    bump :attr:`epoch` and atomically install the new ring.  Cutover is
+    per-file via the pin table — a pinned file keeps routing to its
+    previous-epoch owner (the old epoch drains: the source keeps serving
+    while its segments migrate), and :meth:`unpin` flips it to the
+    ring's current-epoch owner.  A map with no pins and an unchanged
+    member set behaves exactly like the fixed-N map it replaced.
     """
 
     def __init__(self, shard_count: int, vnodes: int = 64) -> None:
@@ -83,21 +100,123 @@ class ConsistentHashShardMap:
             raise ValueError("vnodes must be >= 1")
         self.shard_count = shard_count
         self.vnodes = vnodes
+        #: Bumped on every membership change; pins carry the epoch they
+        #: were created under so "old epoch drains, new epoch owns" is
+        #: observable per file.
+        self.epoch = 0
+        self._members = list(range(shard_count))
+        #: file_id -> (previous-epoch owner, epoch at pin time).  Empty
+        #: whenever no migration is in flight — the fixed-N fast path
+        #: costs one falsy check.
+        self._pins: Dict[int, Tuple[int, int]] = {}
+        self._lock = threading.Lock()
         ring = []
         for shard in range(shard_count):
-            for vnode in range(vnodes):
-                point = _splitmix64(((shard + 1) << 32) | vnode)
-                ring.append((point, shard))
+            ring.extend(self._shard_points(shard))
         ring.sort()
         self._points = [point for point, _ in ring]
         self._shards = [shard for _, shard in ring]
 
+    def _shard_points(self, shard: int) -> List[Tuple[int, int]]:
+        return [
+            (_splitmix64(((shard + 1) << 32) | vnode), shard)
+            for vnode in range(self.vnodes)
+        ]
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """Current ring membership (shard ids, insertion order)."""
+        return tuple(self._members)
+
+    @property
+    def pinned_files(self) -> int:
+        """Files still routed to their previous-epoch owner."""
+        return len(self._pins)
+
     def owner(self, file_id: int) -> int:
-        """The shard that owns ``file_id``."""
+        """The shard that serves ``file_id`` *now* (pins included)."""
+        if self._pins:
+            pinned = self._pins.get(file_id)
+            if pinned is not None:
+                return pinned[0]
         if self.shard_count == 1:
-            return 0
+            return self._members[0]
         index = bisect_right(self._points, _splitmix64(file_id))
         return self._shards[index % len(self._shards)]
+
+    def ring_owner(self, file_id: int) -> int:
+        """The current epoch's ring placement, ignoring pins."""
+        if self.shard_count == 1:
+            return self._members[0]
+        index = bisect_right(self._points, _splitmix64(file_id))
+        return self._shards[index % len(self._shards)]
+
+    def owner_epoch(self, file_id: int) -> Tuple[int, int]:
+        """(owner, epoch of that routing decision) for ``file_id``.
+
+        A pinned file reports the epoch it was pinned under (it is still
+        draining on the old map); an unpinned file reports the map's
+        current epoch.
+        """
+        if self._pins:
+            pinned = self._pins.get(file_id)
+            if pinned is not None:
+                return pinned
+        return self.ring_owner(file_id), self.epoch
+
+    # ------------------------------------------------------------------
+    # membership changes (each bumps the epoch; the ring swap is atomic)
+    # ------------------------------------------------------------------
+    def add_shard(self, shard: Optional[int] = None) -> int:
+        """Admit ``shard`` (default: next unused id) to the ring."""
+        with self._lock:
+            if shard is None:
+                shard = max(self._members) + 1
+            if shard in self._members:
+                raise ValueError(f"shard {shard} is already a member")
+            ring = sorted(
+                list(zip(self._points, self._shards))
+                + self._shard_points(shard)
+            )
+            # Copy-on-write swap: routing reads the lists lock-free.
+            self._points = [point for point, _ in ring]
+            self._shards = [owner for _, owner in ring]
+            self._members = self._members + [shard]
+            self.shard_count = len(self._members)
+            self.epoch += 1
+        return shard
+
+    def remove_shard(self, shard: int) -> None:
+        """Retire ``shard`` from the ring (its keys move, nothing else)."""
+        with self._lock:
+            if shard not in self._members:
+                raise ValueError(f"shard {shard} is not a member")
+            if len(self._members) == 1:
+                raise ValueError("cannot remove the last shard")
+            ring = [
+                (point, owner)
+                for point, owner in zip(self._points, self._shards)
+                if owner != shard
+            ]
+            self._points = [point for point, _ in ring]
+            self._shards = [owner for _, owner in ring]
+            self._members = [m for m in self._members if m != shard]
+            self.shard_count = len(self._members)
+            self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # per-file cutover (the old epoch drains, the new epoch owns)
+    # ------------------------------------------------------------------
+    def pin(self, file_id: int, shard: int) -> None:
+        """Keep ``file_id`` routed to ``shard`` (its pre-change owner)
+        until :meth:`unpin` — the deterministic cutover rule."""
+        with self._lock:
+            self._pins[file_id] = (shard, self.epoch - 1)
+
+    def unpin(self, file_id: int) -> None:
+        """Flip ``file_id`` to its current-epoch ring owner."""
+        with self._lock:
+            self._pins.pop(file_id, None)
 
 
 def flow_shard(flow: FiveTuple, shard_count: int) -> int:
@@ -149,6 +268,10 @@ class OffloadShard:
         #: False between kill_shard and recover_shard: ingress and
         #: relays route around a dead shard.
         self.alive = True
+        #: True once drain_shard finished: the shard left the ring and
+        #: the ingress set for good (indices are never reused, so the
+        #: object stays in ``server.shards`` as a tombstone).
+        self.retired = False
 
 
 class ShardedSteering(Stage):
@@ -164,17 +287,53 @@ class ShardedSteering(Stage):
         super().__init__("sharded-director")
         self.env = env
         self.shards = shards
+        #: Shards currently accepting client flows.  ``shards`` is the
+        #: server's live list (it grows on add_shard and keeps retired
+        #: tombstones); the ingress set is maintained separately so the
+        #: RSS hash and the counters track the *dynamic* membership —
+        #: not the construction-time list.
+        self._ingress = list(shards)
         # Atomic adds, not ``counts[i] += 1``: steering decisions for
         # different flows interleave, and a lost update would make the
         # per-shard load report disagree with the directors' own totals.
         self._steered = [AtomicCounter(0) for _ in shards]
+        self._requests = [AtomicCounter(0) for _ in shards]
         self._failovers = AtomicCounter(0)
         self._dropped = AtomicCounter(0)
+        self._lock = threading.Lock()
+
+    def on_shard_added(self, shard: OffloadShard) -> None:
+        """Open ingress to a freshly wired shard (counters included)."""
+        with self._lock:
+            while len(self._steered) <= shard.index:
+                self._steered.append(AtomicCounter(0))
+                self._requests.append(AtomicCounter(0))
+            # Copy-on-write: steer() snapshots the list lock-free.
+            self._ingress = self._ingress + [shard]
+
+    def on_shard_retired(self, shard: OffloadShard) -> None:
+        """Close ingress to a drained shard; its totals are retained."""
+        with self._lock:
+            self._ingress = [s for s in self._ingress if s is not shard]
+
+    @property
+    def ingress_shards(self) -> List[OffloadShard]:
+        """Shards client flows can currently land on."""
+        return list(self._ingress)
 
     @property
     def shard_loads(self) -> List[int]:
-        """Messages steered to each shard, in shard-index order."""
+        """Messages steered to each shard, in shard-index order.
+
+        Indexed by shard id: grows as shards are added, and a retired
+        shard keeps its historical total at its old index."""
         return [counter.load() for counter in self._steered]
+
+    @property
+    def request_loads(self) -> List[int]:
+        """Requests steered to each shard (messages carry batches; this
+        is the IOPS-proportional number the autoscaler samples)."""
+        return [counter.load() for counter in self._requests]
 
     @property
     def messages_steered(self) -> int:
@@ -208,18 +367,17 @@ class ShardedSteering(Stage):
         requests: Sequence[IoRequest],
         respond: Callable,
     ) -> Generator:
-        shard_index = flow_shard(flow, len(self.shards))
-        shard = self.shards[shard_index]
+        ingress = self._ingress
+        shard_index = flow_shard(flow, len(ingress))
+        shard = ingress[shard_index]
         if not shard.alive:
             # The flow's ingress DPU is dead.  The client's transport
             # reconnects and lands on the next live director (a new
             # five-tuple would re-hash; scanning from the RSS index is
             # the deterministic equivalent).  All-dead: packets vanish
             # and the client retries into the void.
-            for probe in range(1, len(self.shards)):
-                candidate = self.shards[
-                    (shard_index + probe) % len(self.shards)
-                ]
+            for probe in range(1, len(ingress)):
+                candidate = ingress[(shard_index + probe) % len(ingress)]
                 if candidate.alive:
                     shard = candidate
                     self._failovers.fetch_add(1)
@@ -228,6 +386,7 @@ class ShardedSteering(Stage):
                 self._dropped.fetch_add(1)
                 return
         self._steered[shard.index].fetch_add(1)
+        self._requests[shard.index].fetch_add(len(requests))
         yield from shard.director.receive_message(flow, requests, respond)
 
 
@@ -262,6 +421,18 @@ class ShardedOffloadServer(PipelineServer):
         #: Installed by :meth:`enable_replication`; None keeps every
         #: datapath byte-identical to the unreplicated deployment.
         self.replicator: Optional[ShardReplicator] = None
+        #: Installed on the first :meth:`add_shard`/:meth:`drain_shard`
+        #: (or explicitly); None keeps the fixed-N datapath untouched.
+        self.resharder = None
+        # Shard construction parameters, kept so add_shard builds new
+        # shards exactly like construction-time ones.
+        self._signature = signature
+        self._cache_items = cache_items
+        self._director_cores = director_cores
+        self._context_slots = context_slots
+        self._copy_mode = copy_mode
+        self._rdma_transport = rdma_transport
+        self._breaker_config: Optional[Tuple[int, float]] = None
         #: Shard 0 serves the caller's filesystem; other shards get a
         #: mirrored namespace on their own SSD.
         self.filesystems = [filesystem] + [
@@ -273,52 +444,11 @@ class ShardedOffloadServer(PipelineServer):
         self.transport = StackLayer(env, transport_spec, self.host_pool)
         self.app_net = StackLayer(env, BENCH_APP_NET, self.host_pool)
         self.shards: List[OffloadShard] = []
+        self._topology_lock = threading.Lock()
         for index in range(shard_count):
-            backend = DdsBackend(
-                env,
-                self.host_pool,
-                self.filesystems[index],
-                copy_mode,
-                name=f"dds-backend-{index}",
-            )
-            cache_table = CuckooCacheTable(cache_items)
-            backend.file_service.set_offload_hooks(callbacks, cache_table)
-            cores = [
-                CpuCore(
-                    env,
-                    speed=DPU_CPU.speed,
-                    name=f"dpu{index}-director-{core}",
-                )
-                for core in range(director_cores)
-            ]
-            engine = OffloadEngine(
-                env,
-                cores[0],
-                backend.file_service,
-                callbacks,
-                cache_table,
-                BufferPool(256 << 20),
-                context_slots=context_slots,
-                copy_mode=copy_mode,
-            )
-            director = TrafficDirector(
-                env,
-                link,
-                cores,
-                signature,
-                callbacks,
-                cache_table,
-                engine,
-                self._host_handler_for(index, backend),
-                rdma=rdma_transport,
-                shard_map=self.shard_map,
-                shard_id=index,
-            )
-            self.shards.append(
-                OffloadShard(
-                    index, backend, cache_table, cores, engine, director
-                )
-            )
+            shard = self._build_shard(index, self.filesystems[index])
+            with self._topology_lock:
+                self.shards.append(shard)
         directors = [shard.director for shard in self.shards]
         for shard in self.shards:
             shard.director.peers = directors
@@ -337,6 +467,55 @@ class ShardedOffloadServer(PipelineServer):
         # crashed mid-run can be rebuilt from raw disk via ``recover``.
         for fs in self.filesystems:
             fs.flush_metadata_sync()
+
+    def _build_shard(
+        self, index: int, filesystem: DdsFileSystem
+    ) -> OffloadShard:
+        """One DPU's machinery, identical for construction and add_shard."""
+        env = self.env
+        backend = DdsBackend(
+            env,
+            self.host_pool,
+            filesystem,
+            self._copy_mode,
+            name=f"dds-backend-{index}",
+        )
+        cache_table = CuckooCacheTable(self._cache_items)
+        backend.file_service.set_offload_hooks(self.callbacks, cache_table)
+        cores = [
+            CpuCore(
+                env,
+                speed=DPU_CPU.speed,
+                name=f"dpu{index}-director-{core}",
+            )
+            for core in range(self._director_cores)
+        ]
+        engine = OffloadEngine(
+            env,
+            cores[0],
+            backend.file_service,
+            self.callbacks,
+            cache_table,
+            BufferPool(256 << 20),
+            context_slots=self._context_slots,
+            copy_mode=self._copy_mode,
+        )
+        director = TrafficDirector(
+            env,
+            self.link,
+            cores,
+            self._signature,
+            self.callbacks,
+            cache_table,
+            engine,
+            self._host_handler_for(index, backend),
+            rdma=self._rdma_transport,
+            shard_map=self.shard_map,
+            shard_id=index,
+        )
+        return OffloadShard(
+            index, backend, cache_table, cores, engine, director
+        )
 
     @property
     def steering(self) -> ShardedSteering:
@@ -367,6 +546,113 @@ class ShardedOffloadServer(PipelineServer):
         return self.replicator
 
     # ------------------------------------------------------------------
+    # elastic resharding: live shard add/drain (ROADMAP item 2)
+    # ------------------------------------------------------------------
+    @property
+    def live_shards(self) -> List[OffloadShard]:
+        """Shards still in the cluster (retired tombstones excluded)."""
+        return [shard for shard in self.shards if not shard.retired]
+
+    def enable_resharding(self):
+        """The deployment's :class:`~repro.topology.resharding.
+        ReshardingCoordinator` (created on first use; a fixed-N
+        deployment that never reshards never pays for one)."""
+        if self.resharder is None:
+            from .resharding import ReshardingCoordinator
+
+            self.resharder = ReshardingCoordinator(self.env, self)
+        return self.resharder
+
+    def add_shard(self) -> Generator:
+        """Grow the deployment by one shard, live, under traffic.
+
+        Builds the new DPU's machinery (cloned namespace on its own
+        SSD, backend, engine, director), wires it into the relay fabric
+        and the ingress set, resizes the replication pairing when
+        replication is on, then admits it to the ring and migrates the
+        moved keyspaces' segments — sources keep serving reads and
+        writes until each file's atomic cutover.  Returns the new shard
+        index.
+        """
+        resharder = self.enable_resharding()
+        index = len(self.shards)
+        fs = mirror_filesystem(self.env, self.filesystems[0])
+        # Durability point for the new disk: a shard killed mid-
+        # migration must recover from raw disk like any other.
+        fs.flush_metadata_sync()
+        with self._topology_lock:
+            # Copy-on-write (relay/steering paths read the list live).
+            self.filesystems = list(self.filesystems) + [fs]
+        shard = self._build_shard(index, fs)
+        shard.director.peers = self.directors
+        with self._topology_lock:
+            self.shards.append(shard)
+            self.directors.append(shard.director)
+            self._stages.append(shard.backend)
+        shard.backend.start()
+        if self.dedup is not None:
+            shard.director.dedup = self.dedup
+            threshold, recovery = self._breaker_config or (4, 500e-6)
+            shard.director.breaker = CircuitBreaker(
+                self.env,
+                failure_threshold=threshold,
+                recovery_time=recovery,
+            )
+        if self.replicator is not None:
+            shard.director.route = self.replicator.leader_of
+        self._steering.on_shard_added(shard)
+        if self.replicator is not None:
+            # The clone is a byte-copy of shard 0's disk taken with no
+            # intervening yield: credit it with shard 0's applied
+            # prefixes so the resize backfill only replays the tail.
+            self.replicator.seed_from_clone(index, source=0)
+            # Re-derive the (k, next-live-k) pairing *before* any file
+            # flips: the new keyspace's group must exist (and the
+            # re-paired backup be synced) by cutover time.
+            yield from self.replicator.resize()
+        moves = resharder.plan_add(index)
+        yield from resharder.migrate(moves, kind=f"add:{index}")
+        return index
+
+    def drain_shard(self, index: int) -> Generator:
+        """Retire one shard, live: migrate its keyspace out, then
+        remove it from the ring, the replication pairing, and the
+        ingress set.  The drained shard keeps serving its files until
+        each one's atomic cutover (zero dark window by construction).
+        """
+        shard = self.shards[index]
+        if shard.retired:
+            raise RuntimeError(f"shard {index} is already retired")
+        if not shard.alive:
+            raise RuntimeError(f"cannot drain dead shard {index}")
+        live = self.live_shards
+        floor = 3 if self.replicator is not None else 2
+        if len(live) < floor:
+            raise RuntimeError(
+                f"cannot drain below {floor - 1} live shard(s)"
+            )
+        if any(not s.alive for s in live):
+            # A drain *started* while a peer is dark would resize the
+            # replication pairing around a member that cannot sync; a
+            # shard dying mid-drain is handled (the copy plane stalls
+            # or reads from the acting leader), starting one is not.
+            raise RuntimeError("cannot start a drain with a dead shard")
+        resharder = self.enable_resharding()
+        moves = resharder.plan_remove(index)
+        yield from resharder.migrate(moves, kind=f"drain:{index}")
+        # Tombstone *before* the resize: the pairing re-derives from the
+        # non-retired membership, so retiring afterwards would leave the
+        # drained shard as a live backup.  It stays alive (and keeps
+        # mirroring for groups it still backs) until each adoption
+        # completes — only client ingress closes here.
+        self._steering.on_shard_retired(shard)
+        shard.retired = True
+        if self.replicator is not None:
+            # After the last flip nothing routes to this keyspace: the
+            # pairing re-derives without it (device-timed backup sync).
+            yield from self.replicator.resize()
+
+    # ------------------------------------------------------------------
     # resilience: dedup/breakers, crash, and crash-consistent recovery
     # ------------------------------------------------------------------
     def enable_resilience(
@@ -379,6 +665,7 @@ class ShardedOffloadServer(PipelineServer):
         a different ingress director after failover), plus one circuit
         breaker per director/engine pair."""
         dedup = super().enable_resilience(dedup_capacity)
+        self._breaker_config = (breaker_threshold, breaker_recovery)
         for shard in self.shards:
             shard.director.dedup = dedup
             shard.director.breaker = CircuitBreaker(
@@ -484,6 +771,19 @@ class ShardedOffloadServer(PipelineServer):
             )
             if not committed:
                 response = IoResponse(request.request_id, ok=False)
+        if (
+            self.resharder is not None
+            and response.ok
+            and request.op is OpCode.WRITE
+        ):
+            # Migration bookkeeping before the ack: a write that landed
+            # on a migrating file marks its chunk dirty (re-copied
+            # before the flip); a post-flip straggler that applied on
+            # the old owner is forwarded to the new owner — either way
+            # the ack implies the owning shard holds the bytes.
+            yield from self.resharder.on_write_applied(
+                shard_index, request
+            )
         return response
 
     def _host_serve(

@@ -16,6 +16,7 @@ EXPECTED = {
     "custom_offload.py",
     "ring_buffer_tour.py",
     "accelerated_dpu.py",
+    "resharding_demo.py",
 }
 
 
