@@ -27,6 +27,7 @@ suppression syntax.
 
 from .determinism import check_determinism
 from .driver import lint_file, lint_source, lint_tree, main
+from .pushdown_admission import check_pushdown_admission
 from .rules import DEFAULT_CONFIG, RULES, Finding, LintConfig
 from .sanitizer import (
     AccessEvent,
@@ -46,6 +47,7 @@ __all__ = [
     "RaceReport",
     "TrackedLock",
     "check_determinism",
+    "check_pushdown_admission",
     "check_shared_state",
     "lint_file",
     "lint_source",

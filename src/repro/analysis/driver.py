@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from .determinism import check_determinism
+from .pushdown_admission import check_pushdown_admission
 from .rules import DEFAULT_CONFIG, Finding, LintConfig
 from .shared_state import check_shared_state
 
@@ -118,6 +119,7 @@ def lint_source(
     tree = ast.parse(source, filename=path)
     findings = check_shared_state(tree, path, classes)
     findings += check_determinism(tree, path, classes)
+    findings += check_pushdown_admission(tree, path, classes)
     findings.sort(key=lambda f: (f.line, f.rule))
     return _apply_suppressions(findings, source.splitlines())
 

@@ -65,6 +65,15 @@ RULES: Dict[str, str] = {
         "direct heapq use or scheduler-queue access in sim-driven code "
         "outside the engine's sanctioned scheduling API"
     ),
+    "DDS501": (
+        "raw pushdown interpreter call with no lexically preceding "
+        "verify()/verify_program() — offload bytecode executed without "
+        "admission"
+    ),
+    "DDS502": (
+        "hand-built VerifiedProgram/VerifiedPipeline — proof tokens "
+        "are minted only by the verifier"
+    ),
 }
 
 
@@ -120,6 +129,19 @@ class LintConfig:
     #: engine's API (``env.timeout`` / ``succeed`` / ``process``) so the
     #: hot path stays in one optimizable place (DDS304, DESIGN.md §11).
     scheduler_files: Tuple[str, ...] = ("sim/engine.py",)
+    #: Modules that host or dispatch offload programs: raw interpreter
+    #: calls need a preceding verify (DDS501) and proof tokens must come
+    #: from the verifier (DDS502, DESIGN.md §14).
+    offload_prefixes: Tuple[str, ...] = ("extensions/", "pushdown/")
+    #: The pushdown machinery itself — the interpreter (calls itself),
+    #: the verifier (mints the tokens), and the engine (the sanctioned
+    #: redeemer) — is where the admission discipline is *implemented*,
+    #: so the rules do not apply to it.
+    offload_exempt_files: Tuple[str, ...] = (
+        "pushdown/interp.py",
+        "pushdown/verifier.py",
+        "pushdown/engine.py",
+    )
 
     def classes_for(self, relpath: str) -> FrozenSet[str]:
         """The lint classes a module (path relative to repro/) is in."""
@@ -139,6 +161,11 @@ class LintConfig:
             classes.add("sim")
             if relpath not in self.scheduler_files:
                 classes.add("sim_hot")
+        if (
+            relpath.startswith(self.offload_prefixes)
+            and relpath not in self.offload_exempt_files
+        ):
+            classes.add("offload")
         return frozenset(classes)
 
 

@@ -31,11 +31,15 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from .rules import EXEMPT_DECLARATION, Finding
 
-__all__ = ["check_shared_state", "SharedAccess"]
+__all__ = [
+    "check_shared_state",
+    "SharedAccess",
+    "external_state_roots",
+]
 
 #: Method names that mutate a list/dict/set/deque in place.
 _MUTATORS = frozenset(
@@ -154,6 +158,42 @@ def _yield_point_lines(fn: ast.AST) -> List[int]:
             if name == "yield_point":
                 lines.append(node.lineno)
     return lines
+
+
+def external_state_roots(
+    node: ast.AST, allowed: FrozenSet[str]
+) -> List[Tuple[str, int]]:
+    """Reads of state an expression does not own: ``(what, line)``.
+
+    The DDS101/DDS102 root-attribute model applied to an arbitrary
+    expression: every ``Name`` load and every Attribute/Subscript chain
+    is attributed to its root binding, and any root outside ``allowed``
+    is a touch of external (shared) state — a closure, a global, an
+    object attribute.  The pushdown frontend uses this to reject
+    offload-function sources that capture anything beyond their record
+    parameter (verifier rule PDV302).
+    """
+    found: List[Tuple[str, int]] = []
+    chain_roots: List[ast.Name] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            current: ast.expr = sub.value
+            while isinstance(current, (ast.Attribute, ast.Subscript)):
+                current = current.value
+            if isinstance(current, ast.Name):
+                chain_roots.append(current)
+                if current.id not in allowed:
+                    found.append((f"{current.id}.{sub.attr}", sub.lineno))
+    roots = set(map(id, chain_roots))
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Name)
+            and isinstance(sub.ctx, ast.Load)
+            and sub.id not in allowed
+            and id(sub) not in roots
+        ):
+            found.append((sub.id, sub.lineno))
+    return sorted(set(found), key=lambda item: (item[1], item[0]))
 
 
 class _FunctionScanner:

@@ -681,12 +681,93 @@ def _run_resharding(mode: str) -> dict:
     }
 
 
+def _run_pushdown(mode: str) -> dict:
+    """Verified-pushdown placement sweep: operator pipelines × placements.
+
+    Every cell runs the *same verified bytecode* through the
+    :class:`~repro.pushdown.engine.PushdownEngine` — only where it
+    executes changes: the client host core (``ship-all``), the DPU Arm
+    cores (``dpu-software``), or the RXP accelerator with the software
+    engine handling non-regex stages over the survivors (``dpu-accel``).
+    The detail records, per cell, the simulated scan time, bytes on the
+    wire, and DPU/client core busy-seconds — the paper's pushdown story
+    is the wire-bytes and client-core columns collapsing as operators
+    move device-side.  Every cell cross-checks rows and (where the
+    pipeline aggregates) the accumulator registers against the table's
+    ground truth, so a perf figure can never come from a wrong answer.
+    """
+    from ..pushdown.scan import (
+        PIPELINES,
+        PLACEMENTS,
+        PipelineScanner,
+        canonical_pipeline,
+    )
+    from ..sim import Environment
+
+    pages = 64 if mode == "full" else 12
+    selectivity = 0.05
+
+    wall_start = time.perf_counter()
+    events = 0
+    cells: Dict[str, dict] = {}
+    best_records_per_sec = 0.0
+    for pipeline_name in PIPELINES:
+        for placement in PLACEMENTS:
+            env = Environment()
+            scanner = PipelineScanner(
+                env,
+                canonical_pipeline(pipeline_name),
+                pages=pages,
+                selectivity=selectivity,
+                placement=placement,
+                seed=55,
+            )
+            proc = env.process(scanner.scan_table())
+            env.run(until=proc)
+            selected = proc.value
+            assert len(selected) == scanner.expected_hits
+            if scanner.has_aggregate:
+                assert scanner.acc[0] == scanner.expected_sum
+                assert scanner.acc[1] == scanner.expected_hits
+                assert scanner.acc[2] == scanner.expected_max_weight
+            events += env.scheduled_count
+            records = pages * 64  # RECORDS_PER_PAGE
+            best_records_per_sec = max(
+                best_records_per_sec, records / env.now
+            )
+            cells[f"{pipeline_name}/{placement}"] = {
+                "scan_ms": round(env.now * 1e3, 4),
+                "rows": len(selected),
+                "wire_bytes": scanner.wire_bytes,
+                "dpu_core_ms": round(scanner.dpu_core.busy_time * 1e3, 4),
+                "client_core_ms": round(
+                    scanner.client_core.busy_time * 1e3, 4
+                ),
+            }
+    wall = time.perf_counter() - wall_start
+
+    ship = cells["filter-project-agg/ship-all"]["wire_bytes"]
+    accel = cells["filter-project-agg/dpu-accel"]["wire_bytes"]
+    return {
+        "wall_seconds": wall,
+        "events": events,
+        "peak_iops": best_records_per_sec,
+        "detail": {
+            "pages": pages,
+            "selectivity": selectivity,
+            "wire_reduction_agg": round(ship / accel, 1),
+            "cells": cells,
+        },
+    }
+
+
 WORKLOADS: Dict[str, Callable[[str], dict]] = {
     "fig16": _run_fig16,
     "scaleout": _run_scaleout,
     "chaos": _run_chaos,
     "replication": _run_replication,
     "resharding": _run_resharding,
+    "pushdown": _run_pushdown,
 }
 
 

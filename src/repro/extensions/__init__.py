@@ -33,7 +33,21 @@ from .compressed_storage import (
     CompressedReadResult,
     run_compressed_read_experiment,
 )
-from .pushdown import MODES, PushdownScanner, ScanResult, run_pushdown_experiment
+# The pushdown names are resolved lazily (PEP 562): repro.pushdown.scan
+# imports .accelerators from this package, so importing .pushdown (now a
+# shim over repro.pushdown.scan) eagerly here would complete the cycle.
+_PUSHDOWN_NAMES = frozenset(
+    {"MODES", "PushdownScanner", "ScanResult", "run_pushdown_experiment"}
+)
+
+
+def __getattr__(name: str) -> object:
+    if name in _PUSHDOWN_NAMES:
+        from . import pushdown
+
+        return getattr(pushdown, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ARM_SOFTWARE_COMPRESSION",

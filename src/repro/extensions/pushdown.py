@@ -1,9 +1,12 @@
 """String-operator pushdown to the DPU (a §11 future-work extension).
 
-§10/§11: full query pushdown is hard on wimpy DPU cores, but the
-hardware regex engine can evaluate *string operators* where the data
-lives.  This extension scans fixed-size records against a byte regex in
-three placements:
+Compatibility shim: the implementation moved to
+:mod:`repro.pushdown.scan` when offload programs became a verified
+bytecode DSL (ROADMAP item 5) — the scanner's regex operator is now
+admitted through :func:`repro.pushdown.verifier.verify` like any other
+offload program, and the general pipeline scanners live next to it.
+The three legacy placements and their cost model are unchanged
+(pinned by ``tests/test_pushdown_golden.py``):
 
 * ``ship-all``  — today's split: the storage server ships every page to
   the compute node, which filters locally (network pays for all bytes);
@@ -11,170 +14,19 @@ three placements:
   shipping matches only (network saved, Arm cores burned);
 * ``dpu-regex``    — the DPU scans with the RXP engine (network saved,
   Arm cores idle).
-
-Filtering is real (``re`` over the RamDisk bytes); the accelerator
-models who pays for the scan time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generator, List, Optional, Tuple
-
-from ..hardware.cpu import CpuCore
-from ..hardware.nic import NetworkLink
-from ..hardware.specs import DPU_CPU
-from ..sim import Environment, SeededRng
-from ..storage.disk import RamDisk, SpdkBdev
-from ..storage.filesystem import DdsFileSystem
-from .accelerators import (
-    ARM_SOFTWARE_REGEX,
-    BF2_REGEX,
-    HardwareAccelerator,
-    compile_pattern,
-    regex_scan,
+from ..pushdown.scan import (
+    MODES,
+    PAGE_BYTES,
+    RECORD_BYTES,
+    RECORDS_PER_PAGE,
+    PushdownScanner,
+    ScanResult,
+    _make_record,
+    run_pushdown_experiment,
 )
 
 __all__ = ["ScanResult", "PushdownScanner", "run_pushdown_experiment"]
-
-RECORD_BYTES = 128
-PAGE_BYTES = 8192
-RECORDS_PER_PAGE = PAGE_BYTES // RECORD_BYTES
-
-MODES = ("ship-all", "dpu-software", "dpu-regex")
-
-
-def _make_record(index: int, rng: SeededRng, hit: bool) -> bytes:
-    """A record that may contain the needle the query searches for."""
-    body = bytes(97 + rng.randrange(26) for _ in range(RECORD_BYTES - 24))
-    marker = b"needle-%08d" % index if hit else b"chaff--%08d" % index
-    return (marker + body)[:RECORD_BYTES].ljust(RECORD_BYTES, b".")
-
-
-class PushdownScanner:
-    """A table of records in the DDS filesystem plus a scan operator."""
-
-    def __init__(
-        self,
-        env: Environment,
-        pages: int = 128,
-        selectivity: float = 0.05,
-        mode: str = "dpu-regex",
-        seed: int = 55,
-    ) -> None:
-        if mode not in MODES:
-            raise ValueError(f"unknown mode: {mode!r}")
-        if not 0 <= selectivity <= 1:
-            raise ValueError("selectivity must be in [0, 1]")
-        self.env = env
-        self.mode = mode
-        self.pages = pages
-        self.link = NetworkLink(env)
-        self.fs = DdsFileSystem(
-            env, SpdkBdev(env, RamDisk(pages * PAGE_BYTES + (32 << 20)))
-        )
-        self.fs.create_directory("table")
-        self.file_id = self.fs.create_file("table", "records")
-        self.spdk_core = CpuCore(env, speed=DPU_CPU.speed, name="spdk")
-        self.scan_core = CpuCore(env, speed=DPU_CPU.speed, name="scan")
-        if mode == "dpu-regex":
-            self.engine: Optional[HardwareAccelerator] = HardwareAccelerator(
-                env, BF2_REGEX
-            )
-        elif mode == "dpu-software":
-            self.engine = HardwareAccelerator(
-                env, ARM_SOFTWARE_REGEX, software_core=self.scan_core
-            )
-        else:
-            self.engine = None
-        rng = SeededRng(seed)
-        self.expected_hits = 0
-        for page_id in range(pages):
-            records = []
-            for slot in range(RECORDS_PER_PAGE):
-                hit = rng.random() < selectivity
-                self.expected_hits += hit
-                records.append(
-                    _make_record(page_id * RECORDS_PER_PAGE + slot, rng, hit)
-                )
-            self.fs.write_sync(
-                self.file_id, page_id * PAGE_BYTES, b"".join(records)
-            )
-        self.pattern = compile_pattern(rb"needle-\d{8}")
-        self.wire_bytes = 0
-
-    # ------------------------------------------------------------------
-    # scan
-    # ------------------------------------------------------------------
-    def scan_page(self, page_id: int) -> Generator:
-        """Scan one page; returns the matching records at the client."""
-        yield from self.spdk_core.execute(0.35e-6)
-        page = yield self.env.process(
-            self.fs.read(self.file_id, page_id * PAGE_BYTES, PAGE_BYTES)
-        )
-        if self.mode == "ship-all":
-            # Ship the whole page; the compute node filters.
-            yield from self.link.transmit("server_to_client", PAGE_BYTES)
-            self.wire_bytes += PAGE_BYTES
-            return regex_scan(page, self.pattern, RECORD_BYTES)
-        # Pushdown: evaluate on the DPU, ship matches only.
-        yield from self.engine.process(PAGE_BYTES)
-        matches = regex_scan(page, self.pattern, RECORD_BYTES)
-        payload = len(matches) * RECORD_BYTES
-        if payload:
-            yield from self.link.transmit("server_to_client", payload)
-        self.wire_bytes += payload
-        return matches
-
-    def scan_table(self, concurrency: int = 16) -> Generator:
-        """Scan every page; returns all matches."""
-        results: List[Tuple[int, bytes]] = []
-
-        def worker(page_ids):
-            for page_id in page_ids:
-                matches = yield self.env.process(self.scan_page(page_id))
-                results.extend(matches)
-
-        chunks = [
-            list(range(start, self.pages, concurrency))
-            for start in range(concurrency)
-        ]
-        workers = [self.env.process(worker(chunk)) for chunk in chunks]
-        yield self.env.all_of(workers)
-        return results
-
-
-@dataclass
-class ScanResult:
-    """Outcome of one pushdown experiment."""
-
-    mode: str
-    scan_seconds: float
-    matches: int
-    wire_bytes: int
-    arm_core_seconds: float
-
-
-def run_pushdown_experiment(
-    mode: str,
-    pages: int = 128,
-    selectivity: float = 0.05,
-    seed: int = 55,
-) -> ScanResult:
-    """Full-table scan at one operator placement."""
-    env = Environment()
-    scanner = PushdownScanner(
-        env, pages=pages, selectivity=selectivity, mode=mode, seed=seed
-    )
-    proc = env.process(scanner.scan_table())
-    env.run(until=proc)
-    matches = proc.value
-    assert len(matches) == scanner.expected_hits
-    assert all(record.startswith(b"needle-") for _idx, record in matches)
-    return ScanResult(
-        mode=mode,
-        scan_seconds=env.now,
-        matches=len(matches),
-        wire_bytes=scanner.wire_bytes,
-        arm_core_seconds=scanner.scan_core.busy_time,
-    )

@@ -51,7 +51,14 @@ from ..structures.atomics import AtomicCounter
 from ..structures.cuckoo import CuckooCacheTable
 from ..structures.memory import BufferPool
 from .replication import ShardReplicator
-from .stages import DdsBackend, Stage, StageKind, WireIngress
+from .stages import (
+    DdsBackend,
+    PushdownExecution,
+    PushdownScanOutcome,
+    Stage,
+    StageKind,
+    WireIngress,
+)
 
 __all__ = [
     "ConsistentHashShardMap",
@@ -424,6 +431,10 @@ class ShardedOffloadServer(PipelineServer):
         #: Installed on the first :meth:`add_shard`/:meth:`drain_shard`
         #: (or explicitly); None keeps the fixed-N datapath untouched.
         self.resharder = None
+        #: shard index -> :class:`PushdownExecution`, installed by
+        #: :meth:`enable_pushdown`; empty until then (no new stages, no
+        #: new cores — the plain datapath is untouched).
+        self.pushdown_stages: Dict[int, PushdownExecution] = {}
         # Shard construction parameters, kept so add_shard builds new
         # shards exactly like construction-time ones.
         self._signature = signature
@@ -651,6 +662,134 @@ class ShardedOffloadServer(PipelineServer):
             # After the last flip nothing routes to this keyspace: the
             # pairing re-derives without it (device-timed backup sync).
             yield from self.replicator.resize()
+
+    # ------------------------------------------------------------------
+    # verified pushdown: per-shard offload-program execution (DESIGN §14)
+    # ------------------------------------------------------------------
+    def enable_pushdown(self) -> Dict[int, PushdownExecution]:
+        """Give every live shard a verified-pushdown execution stage.
+
+        Each shard gets its own Arm core + RXP accelerator over its own
+        filesystem, appended to the stage list so the cores-consumed
+        roll-up sees them.  Idempotent per shard (a shard added after
+        enabling gets its stage on the next call).
+        """
+        for shard in self.live_shards:
+            if shard.index in self.pushdown_stages:
+                continue
+            stage = PushdownExecution(
+                self.env,
+                self.filesystems[shard.index],
+                self.link,
+                shard=shard.index,
+            )
+            with self._topology_lock:
+                self.pushdown_stages[shard.index] = stage
+                self._stages.append(stage)
+        return self.pushdown_stages
+
+    def pushdown_scan(
+        self,
+        file_id: int,
+        pipeline,
+        pages: int,
+        geometry=None,
+    ) -> Generator:
+        """Serve a pushdown pipeline over one file, shard-routed.
+
+        Admission first: the pipeline goes through :func:`repro.
+        pushdown.verifier.verify` against ``geometry`` (default: the
+        canonical 128B×64 record/page shape).  A proof token routes the
+        scan to the owning shard's :class:`PushdownExecution` stage; a
+        rejection falls back to the host path — every page ships over
+        the wire and through the host transport, and the host pool
+        computes the same answer — returning an outcome whose
+        ``verdict`` carries the typed rule that refused the DPU.
+
+        Returns ``(verdict, outcome)``; a process generator either way.
+        """
+        from ..pushdown.scan import GEOMETRY
+        from ..pushdown.verifier import verify
+
+        geometry = geometry or GEOMETRY
+        verdict, token = verify(pipeline, geometry)
+        owner = self.shard_map.owner(file_id)
+        if token is None:
+            outcome = yield from self._pushdown_host_fallback(
+                owner, file_id, pipeline, pages, geometry
+            )
+            return verdict, outcome
+        if not self.pushdown_stages:
+            raise RuntimeError(
+                "call enable_pushdown() before pushdown_scan()"
+            )
+        stage = self.pushdown_stages[owner]
+        outcome = yield from stage.scan(token, file_id, pages)
+        return verdict, outcome
+
+    def _pushdown_host_fallback(
+        self,
+        shard_index: int,
+        file_id: int,
+        pipeline,
+        pages: int,
+        geometry,
+    ) -> Generator:
+        """Ship-all host execution for a pipeline the verifier refused.
+
+        The host is not the resource-starved party the verifier
+        protects, so the interpreter runs with host-sized stack and fuel
+        bounds — a program rejected for *DPU* limits still computes the
+        correct answer here, while a genuinely divergent one is stopped
+        by the host's (much larger) fuel and surfaces as a trap.
+        """
+        from ..pushdown.engine import HOST_HZ, cycles_of
+        from ..pushdown.interp import ExecStats, interpret_pipeline
+        from ..pushdown.isa import ACC_REGS, STACK_LIMIT
+
+        page_bytes = geometry.page_bytes
+        filesystem = self.filesystems[shard_index]
+        host_fuel = geometry.fuel_limit * 1024
+        acc: List[int] = [0] * ACC_REGS
+        selected: List[Tuple[int, bytes]] = []
+        wire_bytes = 0
+        stats = ExecStats()
+        for page_id in range(pages):
+            page = yield self.env.process(
+                filesystem.read(file_id, page_id * page_bytes, page_bytes)
+            )
+            # Ship-all: the whole page crosses the wire and the host
+            # transport before any operator runs.
+            yield from self.link.transmit("server_to_client", len(page))
+            yield from self.transport.process(len(page))
+            yield from self.app_net.process(len(page))
+            wire_bytes += len(page)
+            for start in range(0, len(page), geometry.record_bytes):
+                record = page[start:start + geometry.record_bytes]
+                result = interpret_pipeline(
+                    pipeline,
+                    record,
+                    geometry,
+                    host_fuel,
+                    acc=acc,
+                    stack_limit=STACK_LIMIT * 128,
+                )
+                stats.merge(result.stats)
+                if result.selected:
+                    slot = page_id * geometry.records_per_page + (
+                        start // geometry.record_bytes
+                    )
+                    selected.append((slot, record))
+        yield from self.host_pool.execute(cycles_of(stats) / HOST_HZ)
+        return PushdownScanOutcome(
+            file_id=file_id,
+            shard=shard_index,
+            offloaded=False,
+            rows=len(selected),
+            wire_bytes=wire_bytes,
+            acc=tuple(acc),
+            selected=selected,
+        )
 
     # ------------------------------------------------------------------
     # resilience: dedup/breakers, crash, and crash-consistent recovery

@@ -28,7 +28,8 @@ single roll-up over its stages instead of ad-hoc per-server overrides.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, Generator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.file_library import DdsFileLibrary, PollMode
 from ..core.file_service import DpuFileService
@@ -56,6 +57,8 @@ __all__ = [
     "DdsHostSide",
     "DdsBackend",
     "DirectorSteering",
+    "PushdownExecution",
+    "PushdownScanOutcome",
 ]
 
 
@@ -361,6 +364,127 @@ class DdsBackend(Stage):
 
     def serve(self, request: IoRequest) -> Generator:
         return self.host_side.serve(request)
+
+
+@dataclass
+class PushdownScanOutcome:
+    """What one pushdown scan returned and what it put on the wire."""
+
+    file_id: int
+    shard: int
+    #: True when the pipeline ran on the DPU under a proof token;
+    #: False when admission refused it and the host served the scan.
+    offloaded: bool
+    rows: int
+    wire_bytes: int
+    acc: Tuple[int, ...]
+    selected: List[Tuple[int, bytes]]
+
+
+class PushdownExecution(Stage):
+    """Verified-pushdown execution on one shard's DPU (DESIGN.md §14).
+
+    Owns one Arm core and an RXP accelerator per shard and redeems
+    :class:`~repro.pushdown.verifier.VerifiedPipeline` proof tokens
+    against the shard's filesystem: pages are read locally, records run
+    through the :class:`~repro.pushdown.engine.PushdownEngine` (RXP
+    absorbing a regex-lowerable filter), and only the operator's output
+    crosses the wire.  Admission itself happens at the server
+    (:meth:`~repro.topology.sharding.ShardedOffloadServer.
+    pushdown_scan`) so a rejection can fall back to the host path
+    *before* any DPU resources are touched.
+    """
+
+    kind = StageKind.EXECUTION
+
+    def __init__(
+        self,
+        env: Environment,
+        filesystem: DdsFileSystem,
+        link: NetworkLink,
+        shard: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"pushdown-{shard}")
+        # Local imports keep topology importable without the pushdown
+        # package having been wired into a deployment.
+        from ..extensions.accelerators import BF2_REGEX, HardwareAccelerator
+        from ..pushdown.engine import PushdownEngine
+
+        self.env = env
+        self.filesystem = filesystem
+        self.link = link
+        self.shard = shard
+        self.core = CpuCore(
+            env, speed=DPU_CPU.speed, name=f"dpu{shard}-pushdown"
+        )
+        self.spdk_core = CpuCore(
+            env, speed=DPU_CPU.speed, name=f"dpu{shard}-pushdown-spdk"
+        )
+        self.accelerator = HardwareAccelerator(env, BF2_REGEX)
+        self._engine_cls = PushdownEngine
+        self.scans = 0
+
+    def dpu_cores(self, elapsed: float) -> float:
+        return self.core.utilization(elapsed) + self.spdk_core.utilization(
+            elapsed
+        )
+
+    def scan(self, token, file_id: int, pages: int) -> Generator:
+        """Run one admitted pipeline over ``pages`` pages of a file.
+
+        A DES process generator returning a :class:`PushdownScanOutcome`.
+        The engine is fresh per scan (accumulators start at zero); the
+        RXP path engages iff the token certifies a regex lowering.
+        """
+        geometry = token.geometry
+        page_bytes = geometry.page_bytes
+        pipeline = token.pipeline
+        has_project = pipeline.stage("project") is not None
+        has_aggregate = pipeline.stage("aggregate") is not None
+        engine = self._engine_cls(
+            self.env,
+            self.core,
+            self.accelerator if token.pattern is not None else None,
+        )
+        self.scans += 1
+        wire_bytes = 0
+        selected: List[Tuple[int, bytes]] = []
+        for page_id in range(pages):
+            yield from self.spdk_core.execute(0.35e-6)
+            page = yield self.env.process(
+                self.filesystem.read(
+                    file_id, page_id * page_bytes, page_bytes
+                )
+            )
+            outcome = yield from engine.execute_page(token, page)
+            for slot, record in outcome.selected:
+                selected.append(
+                    (page_id * geometry.records_per_page + slot, record)
+                )
+            if has_project:
+                payload = sum(len(chunk) for chunk in outcome.emitted)
+            elif has_aggregate:
+                payload = 0
+            else:
+                payload = len(outcome.selected) * geometry.record_bytes
+            if payload:
+                yield from self.link.transmit("server_to_client", payload)
+            wire_bytes += payload
+        if has_aggregate:
+            # The folded registers are the aggregate's entire answer.
+            acc_bytes = len(engine.acc) * 8
+            yield from self.link.transmit("server_to_client", acc_bytes)
+            wire_bytes += acc_bytes
+        return PushdownScanOutcome(
+            file_id=file_id,
+            shard=self.shard,
+            offloaded=True,
+            rows=len(selected),
+            wire_bytes=wire_bytes,
+            acc=tuple(engine.acc),
+            selected=selected,
+        )
 
 
 class DirectorSteering(Stage):

@@ -20,6 +20,7 @@ SHARED = frozenset({"shared"})
 INSTRUMENTED = frozenset({"instrumented"})
 SIM = frozenset({"sim"})
 SIM_HOT = frozenset({"sim", "sim_hot"})
+OFFLOAD = frozenset({"offload"})
 
 
 def _lint(fixture, classes):
@@ -172,6 +173,12 @@ def test_clean_fixture_is_clean_under_every_class():
         ("sim/rng.py", set()),  # implements the blessed idiom
         ("core/server.py", set()),
         ("analysis/driver.py", set()),
+        ("extensions/pushdown.py", {"offload"}),
+        ("pushdown/scan.py", {"offload"}),
+        ("pushdown/frontend.py", {"offload"}),
+        ("pushdown/interp.py", set()),  # implements the raw entry
+        ("pushdown/verifier.py", set()),  # mints the tokens
+        ("pushdown/engine.py", set()),  # the sanctioned redeemer
     ],
 )
 def test_default_config_classification(relpath, expected):
@@ -196,12 +203,43 @@ def test_engine_itself_is_exempt_from_dds304():
     assert all(f.rule != "DDS304" for f in findings)
 
 
+def test_pushdown_admission_exact_rules_and_lines():
+    """DDS501/DDS502: raw execution and forged proof tokens."""
+    findings = _lint("pushdown_bad.py", OFFLOAD)
+    assert _inventory(findings) == [
+        ("DDS501", 9),  # interpret() with no verify in scope
+        ("DDS501", 13),  # interp.interpret_pipeline() via attribute
+        ("DDS501", 19),  # verify exists but only *after* execution
+        ("DDS502", 27),  # VerifiedPipeline built by hand
+    ]
+
+
+def test_pushdown_fixture_ignored_outside_offload_class():
+    assert _lint("pushdown_bad.py", frozenset()) == []
+    assert _lint("pushdown_bad.py", SHARED | SIM) == []
+
+
+def test_pushdown_admission_suppressible():
+    source = (FIXTURES / "pushdown_bad.py").read_text(encoding="utf-8")
+    patched = source.replace(
+        "# DDS501 line 9",
+        "# ddslint: disable=DDS501 -- caller verified",
+    )
+    findings = lint_source(patched, "pushdown_bad.py", OFFLOAD)
+    flagged = [
+        (f.rule, f.line) for f in findings if not f.suppressed
+    ]
+    assert ("DDS501", 9) not in flagged
+    assert ("DDS501", 13) in flagged
+
+
 def test_rule_registry_covers_every_reported_rule():
     rules = set()
     for fixture, classes in [
         ("shared_bad.py", SHARED | INSTRUMENTED),
         ("sim_bad.py", SIM),
         ("scheduler_bypass.py", SIM_HOT),
+        ("pushdown_bad.py", OFFLOAD),
     ]:
         rules.update(f.rule for f in _lint(fixture, classes))
     assert rules <= set(RULES)

@@ -1,4 +1,9 @@
-"""Smoke checks for the runnable examples (compile + entry points)."""
+"""Smoke checks for the runnable examples (compile + entry points).
+
+``EXPECTED`` is asserted *equal* to the on-disk ``examples/*.py`` set,
+not merely a subset: an example added without smoke coverage (or a
+stale entry for a deleted one) fails here instead of rotting silently.
+"""
 
 import os
 import py_compile
@@ -17,6 +22,7 @@ EXPECTED = {
     "ring_buffer_tour.py",
     "accelerated_dpu.py",
     "resharding_demo.py",
+    "pushdown_demo.py",
 }
 
 
@@ -26,8 +32,8 @@ def example_files():
     )
 
 
-def test_all_expected_examples_present():
-    assert EXPECTED.issubset(set(example_files()))
+def test_smoke_list_matches_examples_directory_exactly():
+    assert set(example_files()) == EXPECTED
 
 
 @pytest.mark.parametrize("name", sorted(EXPECTED))

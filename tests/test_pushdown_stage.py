@@ -1,0 +1,201 @@
+"""Verified pushdown as a sharded-server execution stage.
+
+Covers the admission → execution → fallback flow end to end on a
+:class:`~repro.topology.sharding.ShardedOffloadServer`: verified
+pipelines run on the owning shard's DPU stage; rejected ones fall back
+to the host path with the typed verdict *and the same answer*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.nic import NetworkLink
+from repro.pushdown import (
+    Instruction,
+    Op,
+    Pipeline,
+    Program,
+    field_filter,
+)
+from repro.pushdown.scan import (
+    PAGE_BYTES,
+    RECORDS_PER_PAGE,
+    VALUE_OFFSET,
+    WEIGHT_OFFSET,
+    _make_pipeline_record,
+    canonical_pipeline,
+)
+from repro.pushdown.verifier import PDV_RULES
+from repro.sim import Environment, SeededRng
+from repro.storage.disk import RamDisk, SpdkBdev
+from repro.storage.filesystem import DdsFileSystem
+from repro.topology.sharding import ShardedOffloadServer
+
+PAGES = 6
+
+
+def _build_table(env, pages=PAGES, selectivity=0.2, seed=99, files=1):
+    """A filesystem holding ``files`` pipeline tables, plus expectations."""
+    fs = DdsFileSystem(
+        env,
+        SpdkBdev(env, RamDisk(files * pages * PAGE_BYTES + (32 << 20))),
+    )
+    fs.create_directory("table")
+    rng = SeededRng(seed)
+    file_ids = []
+    expected = {}
+    for index in range(files):
+        file_id = fs.create_file("table", f"records-{index}")
+        hits = 0
+        total = 0
+        best = 0
+        for page_id in range(pages):
+            records = []
+            for slot in range(RECORDS_PER_PAGE):
+                hit = rng.random() < selectivity
+                record = _make_pipeline_record(
+                    page_id * RECORDS_PER_PAGE + slot, rng, hit
+                )
+                if hit:
+                    hits += 1
+                    total += int.from_bytes(
+                        record[VALUE_OFFSET:VALUE_OFFSET + 4], "little"
+                    )
+                    best = max(
+                        best,
+                        int.from_bytes(
+                            record[WEIGHT_OFFSET:WEIGHT_OFFSET + 4],
+                            "little",
+                        ),
+                    )
+                records.append(record)
+            fs.write_sync(file_id, page_id * PAGE_BYTES, b"".join(records))
+        file_ids.append(file_id)
+        expected[file_id] = (hits, total, best)
+    return fs, file_ids, expected
+
+
+def _scan(env, server, file_id, pipeline, pages=PAGES):
+    proc = env.process(server.pushdown_scan(file_id, pipeline, pages))
+    env.run(until=proc)
+    return proc.value
+
+
+def _deep_stack_filter(threshold: int, copies: int = 40) -> Program:
+    """``value > threshold`` computed ``copies`` times and AND-folded.
+
+    Semantically a plain field filter, but the operand stack peaks at
+    ``copies + 1`` — past the DPU's admission bound, so the verifier
+    refuses it (PDV201) even though the host can run it fine.
+    """
+    code = []
+    for _ in range(copies):
+        code.append(Instruction(Op.LOAD, VALUE_OFFSET, 4))
+        code.append(Instruction(Op.PUSH, threshold))
+        code.append(Instruction(Op.GT))
+    for _ in range(copies - 1):
+        code.append(Instruction(Op.AND))
+    code.append(Instruction(Op.RET))
+    return Program(kind="filter", code=tuple(code))
+
+
+def test_verified_pipeline_offloads_to_owning_shard():
+    env = Environment()
+    fs, (file_id,), expected = _build_table(env)
+    server = ShardedOffloadServer(env, NetworkLink(env), fs, shard_count=2)
+    server.enable_pushdown()
+    verdict, outcome = _scan(
+        env, server, file_id, canonical_pipeline("filter-project-agg")
+    )
+    hits, total, best = expected[file_id]
+    assert verdict.ok
+    assert outcome.offloaded
+    assert outcome.shard == server.shard_map.owner(file_id)
+    assert outcome.rows == hits
+    assert outcome.acc[0] == total
+    assert outcome.acc[1] == hits
+    assert outcome.acc[2] == best
+    # Pushdown's point: the operator output, not the table, crossed the
+    # wire, and the host pool never touched the scan.
+    assert outcome.wire_bytes < PAGES * PAGE_BYTES
+    assert server.host_pool.busy_time == 0.0
+    assert server.pushdown_stages[outcome.shard].scans == 1
+
+
+def test_scans_route_by_shard_map_owner():
+    env = Environment()
+    fs, file_ids, _expected = _build_table(env, files=4)
+    server = ShardedOffloadServer(env, NetworkLink(env), fs, shard_count=3)
+    server.enable_pushdown()
+    owners = set()
+    for file_id in file_ids:
+        verdict, outcome = _scan(
+            env, server, file_id, canonical_pipeline("filter")
+        )
+        assert verdict.ok and outcome.offloaded
+        assert outcome.shard == server.shard_map.owner(file_id)
+        owners.add(outcome.shard)
+    total_scans = sum(s.scans for s in server.pushdown_stages.values())
+    assert total_scans == len(file_ids)
+    assert len(owners) > 1  # the map actually spread the files
+
+
+def test_rejected_pipeline_falls_back_to_host_with_same_answer():
+    env = Environment()
+    fs, (file_id,), _expected = _build_table(env)
+    server = ShardedOffloadServer(env, NetworkLink(env), fs, shard_count=2)
+    server.enable_pushdown()
+
+    threshold = 5000
+    rejected = Pipeline((_deep_stack_filter(threshold),))
+    verdict, outcome = _scan(env, server, file_id, rejected)
+    assert not verdict.ok
+    assert verdict.rule == "PDV201"
+    assert verdict.rule in PDV_RULES
+    assert not outcome.offloaded
+
+    # Same predicate, admissible shape: the DPU answer is the oracle.
+    admissible = Pipeline(
+        (field_filter(VALUE_OFFSET, 4, threshold + 1, (1 << 32) - 1),)
+    )
+    ok_verdict, ok_outcome = _scan(env, server, file_id, admissible)
+    assert ok_verdict.ok and ok_outcome.offloaded
+    assert outcome.rows == ok_outcome.rows
+    assert [s for s, _r in outcome.selected] == [
+        s for s, _r in ok_outcome.selected
+    ]
+
+    # The fallback is the expensive path: every byte shipped, host pool
+    # and host transport charged.
+    assert outcome.wire_bytes == PAGES * PAGE_BYTES
+    assert server.host_pool.busy_time > 0.0
+
+
+def test_pushdown_scan_requires_enable():
+    env = Environment()
+    fs, (file_id,), _expected = _build_table(env, pages=1)
+    server = ShardedOffloadServer(env, NetworkLink(env), fs, shard_count=1)
+    proc = env.process(
+        server.pushdown_scan(file_id, canonical_pipeline("filter"), 1)
+    )
+    with pytest.raises(RuntimeError, match="enable_pushdown"):
+        env.run(until=proc)
+
+
+def test_pushdown_stage_appears_in_stage_rollup():
+    env = Environment()
+    fs, (file_id,), _expected = _build_table(env, pages=2)
+    server = ShardedOffloadServer(env, NetworkLink(env), fs, shard_count=2)
+    stages_before = len(server._stages)
+    server.enable_pushdown()
+    assert len(server._stages) == stages_before + 2
+    # Enabling twice adds nothing.
+    server.enable_pushdown()
+    assert len(server._stages) == stages_before + 2
+    _verdict, outcome = _scan(
+        env, server, file_id, canonical_pipeline("filter"), pages=2
+    )
+    stage = server.pushdown_stages[outcome.shard]
+    assert stage.dpu_cores(env.now) >= 0.0
+    assert stage.scans == 1
