@@ -118,6 +118,7 @@ class LintConfig:
         "net/",
         "baselines/",
         "faults/",
+        "workload/",
     )
     #: Files inside sim prefixes that *implement* the blessed idioms and
     #: are therefore exempt from the determinism rules (the seeded RNG

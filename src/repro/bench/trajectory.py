@@ -761,6 +761,207 @@ def _run_pushdown(mode: str) -> dict:
     }
 
 
+def _run_overload(mode: str) -> dict:
+    """Graceful degradation under open-loop overload (DESIGN §15).
+
+    Two measurements against the same capacity-limited deployment (one
+    shard, 64 KiB reads — the SSD/link path saturates at ~52K IOPS, so
+    overload is affordable to simulate):
+
+    * **goodput-vs-offered curve** — an open-loop tenant population
+      sweeps multiples of capacity twice: OFF (stock 8-attempt retries,
+      no dedup, no QoS — the metastable configuration) and ON (dedup +
+      retry budget + the tenant QoS gate).  The OFF curve *collapses*
+      past saturation — retries amplify offered load and goodput falls
+      as demand rises — while the ON curve stays flat at the admission
+      cap.  The acceptance bar: ON goodput at 2x capacity >= 80% of ON
+      peak.
+    * **flash crowd** — a 5x spike for 6 ms over a 0.8x-capacity base
+      load.  The detail records goodput before / during / after and
+      ``recovery`` (post-crowd goodput over the pre-crowd demand).  OFF
+      stays collapsed long after the crowd ends (the metastable
+      signature); ON must recover to >= 95%.
+    """
+    from ..core.retry import RetryBudget, RetryPolicy
+    from ..hardware.nic import NetworkLink
+    from ..sim import Environment
+    from ..storage.disk import RamDisk, SpdkBdev
+    from ..storage.filesystem import DdsFileSystem
+    from ..topology.qos import QosConfig
+    from ..topology.sharding import ShardedOffloadServer
+    from ..workload import FlashCrowd, OpenLoopTrafficEngine, TenantSpec
+
+    io_size = 64 << 10
+    files = 8
+    file_bytes = 1 << 20
+    capacity = 52_000.0  # measured single-shard 64KiB-read saturation
+    if mode == "full":
+        multipliers = (0.5, 1.0, 1.5, 2.0, 3.0)
+        horizon = 15e-3
+        flash_horizon = 30e-3
+    else:
+        multipliers = (1.0, 2.0)
+        horizon = 8e-3
+        flash_horizon = 22e-3
+    crowd_start, crowd_len = 8e-3, 6e-3
+
+    def build(env):
+        disk = RamDisk(files * file_bytes + (64 << 20))
+        fs = DdsFileSystem(env, SpdkBdev(env, disk))
+        fs.create_directory("bench")
+        file_ids = []
+        for index in range(files):
+            file_id = fs.create_file("bench", f"ovl-file-{index}")
+            fs.preallocate(file_id, file_bytes)
+            file_ids.append(file_id)
+        server = ShardedOffloadServer(
+            env, NetworkLink(env), fs, shard_count=1
+        )
+        return server, file_ids
+
+    def tenant_specs(total_rate):
+        # Two tenant classes: three interactive accounts (20% of the
+        # load, 4x DRR weight, latency-sensitive) and one batch whale.
+        specs = [
+            TenantSpec(
+                f"int-{i}", i, rate=total_rate * 0.2 / 3, weight=4.0,
+                slo_p99=5e-3,
+            )
+            for i in range(3)
+        ]
+        specs.append(
+            TenantSpec("batch-0", 3, rate=total_rate * 0.8, weight=1.0)
+        )
+        return specs
+
+    def drive(total_rate, defenses, run_horizon, events=()):
+        env = Environment()
+        server, file_ids = build(env)
+        engine = OpenLoopTrafficEngine(
+            env, server, tenant_specs(total_rate), file_ids,
+            horizon=run_horizon, io_size=io_size, file_bytes=file_bytes,
+            seed=31, events=events,
+            retry_policy=RetryPolicy(max_attempts=8, timeout=2e-3),
+            retry_budget=(
+                RetryBudget(capacity=32.0, refill_ratio=0.1)
+                if defenses else None
+            ),
+        )
+        gate = None
+        if defenses:
+            server.enable_resilience()
+            gate = server.enable_qos(QosConfig(
+                global_rate=0.9 * capacity, global_burst=32.0,
+                sojourn_target=2e-3,
+                weights={f"int-{i}": 4.0 for i in range(3)},
+                tenant_of=engine.tenant_for_flow,
+            ))
+        result = engine.run()
+        return env, gate, result
+
+    def class_p99_ms(result):
+        merged = {}
+        for name, outcome in result.tenants.items():
+            merged.setdefault(name.split("-")[0], []).extend(
+                outcome.latencies
+            )
+        out = {}
+        for klass, latencies in sorted(merged.items()):
+            latencies.sort()
+            index = min(
+                len(latencies) - 1,
+                max(0, int(round(0.99 * len(latencies))) - 1),
+            )
+            out[klass] = round(latencies[index] * 1e3, 3) if latencies else 0.0
+        return out
+
+    wall_start = time.perf_counter()
+    events = 0
+    curve = {"off": [], "on": []}
+    class_p99 = {}
+    for defenses, key in ((False, "off"), (True, "on")):
+        for mult in multipliers:
+            env, gate, result = drive(mult * capacity, defenses, horizon)
+            events += env.scheduled_count
+            shed = gate.totals.shed if gate is not None else 0
+            curve[key].append({
+                "multiplier": mult,
+                "offered_iops": round(mult * capacity, 1),
+                "goodput_iops": round(result.acked / horizon, 1),
+                "p99_ms": round(result.p99 * 1e3, 3),
+                "retries": result.retries,
+                "shed_rate": round(shed / max(1, result.offered), 4),
+                "amplification": round(result.amplification, 3),
+            })
+            if defenses and mult == 2.0:
+                class_p99 = class_p99_ms(result)
+
+    def window(acks, lo, hi):
+        return sum(1 for t in acks if lo <= t < hi) / (hi - lo)
+
+    crowd = FlashCrowd(
+        start=crowd_start, duration=crowd_len, multiplier=5.0
+    )
+    base_rate = 0.8 * capacity
+    flash = {}
+    for defenses, key in ((False, "off"), (True, "on")):
+        env, _gate, result = drive(
+            base_rate, defenses, flash_horizon, events=(crowd,)
+        )
+        events += env.scheduled_count
+        pre = window(result.ack_times, 2e-3, crowd_start)
+        during = window(
+            result.ack_times, crowd_start, crowd_start + crowd_len
+        )
+        post = window(
+            result.ack_times, crowd_start + crowd_len + 4e-3, flash_horizon
+        )
+        flash[key] = {
+            "pre_iops": round(pre, 1),
+            "during_iops": round(during, 1),
+            "post_iops": round(post, 1),
+            # Post-crowd goodput over pre-crowd *demand*: the demand
+            # denominator keeps a lucky Poisson draw in the short pre
+            # window from skewing the ratio.
+            "recovery": round(post / min(pre, base_rate), 3),
+            "p99_ms": round(result.p99 * 1e3, 3),
+            "retries": result.retries,
+        }
+    wall = time.perf_counter() - wall_start
+
+    on_peak = max(point["goodput_iops"] for point in curve["on"])
+    on_at_2x = next(
+        point["goodput_iops"]
+        for point in curve["on"] if point["multiplier"] == 2.0
+    )
+    off_floor = min(
+        point["goodput_iops"]
+        for point in curve["off"] if point["multiplier"] >= 2.0
+    )
+    return {
+        "wall_seconds": wall,
+        "events": events,
+        "peak_iops": on_peak,
+        "detail": {
+            "capacity_iops": capacity,
+            "io_size": io_size,
+            "shards": 1,
+            "horizon_ms": round(horizon * 1e3, 1),
+            "curve": curve,
+            "on_goodput_2x_pct_of_peak": round(
+                100.0 * on_at_2x / on_peak, 1
+            ),
+            "off_collapse_pct_of_peak": round(
+                100.0 * off_floor
+                / max(p["goodput_iops"] for p in curve["off"]),
+                1,
+            ),
+            "tenant_class_p99_ms_at_2x": class_p99,
+            "flash_crowd": flash,
+        },
+    }
+
+
 WORKLOADS: Dict[str, Callable[[str], dict]] = {
     "fig16": _run_fig16,
     "scaleout": _run_scaleout,
@@ -768,6 +969,7 @@ WORKLOADS: Dict[str, Callable[[str], dict]] = {
     "replication": _run_replication,
     "resharding": _run_resharding,
     "pushdown": _run_pushdown,
+    "overload": _run_overload,
 }
 
 

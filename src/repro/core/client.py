@@ -19,7 +19,7 @@ from ..hardware.specs import HOST_CPU
 from ..net.packet import FiveTuple
 from ..sim import Environment, SeededRng
 from .messages import IoRequest, IoResponse, OpCode
-from .retry import RetryPolicy
+from .retry import RetryBudget, RetryPolicy
 from .server import StorageServerBase
 
 __all__ = ["ClientConfig", "ClientResult", "WorkloadClient", "DdsClient"]
@@ -53,6 +53,10 @@ class ClientResult:
     failed_requests: int = 0
     duplicate_responses: int = 0
     error_responses: int = 0
+    #: Explicit server sheds seen (overload backpressure), and retries
+    #: the client's :class:`~repro.core.retry.RetryBudget` refused.
+    throttled_responses: int = 0
+    budget_denied: int = 0
 
     def percentile(self, p: float) -> float:
         """Latency percentile, p in [0, 100]."""
@@ -91,6 +95,7 @@ class WorkloadClient:
         request_factory=None,
         retry_policy: Optional[RetryPolicy] = None,
         observer=None,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         self.env = env
         self.server = server
@@ -104,6 +109,11 @@ class WorkloadClient:
         #: seeded jitter); without one the client trusts every message
         #: to be answered — the loss-free fast path every benchmark uses.
         self.retry_policy = retry_policy
+        #: Optional (shareable) retry budget: each re-send must win a
+        #: token, each success refills a fraction of one — the client
+        #: half of the metastability defense.  None keeps the unbounded
+        #: max_attempts behaviour.
+        self.retry_budget = retry_budget
         #: Optional chaos observer: ``on_issue(request)``,
         #: ``on_ack(request, response)``, ``on_give_up(request)``.
         self.observer = observer
@@ -127,6 +137,11 @@ class WorkloadClient:
         self.failed_requests = 0
         self.duplicate_responses = 0
         self.error_responses = 0
+        self.throttled_responses = 0
+        self.budget_denied = 0
+        # Request ids throttled during the current attempt window; the
+        # retry loop backs off harder when the server said "stop".
+        self._throttled_ids: Set[int] = set()
 
     # ------------------------------------------------------------------
     # request generation
@@ -275,6 +290,8 @@ class WorkloadClient:
             failed_requests=self.failed_requests,
             duplicate_responses=self.duplicate_responses,
             error_responses=self.error_responses,
+            throttled_responses=self.throttled_responses,
+            budget_denied=self.budget_denied,
         )
 
     def _on_retry_response(self, response: IoResponse) -> None:
@@ -285,11 +302,19 @@ class WorkloadClient:
             self.duplicate_responses += 1
             return
         if not response.ok:
-            # Transient failure (device error): leave the request
-            # unanswered so the retry loop re-sends it.
-            self.error_responses += 1
+            if response.throttled:
+                # Explicit overload shed: remember it so the retry loop
+                # applies the throttle backoff factor before re-sending.
+                self.throttled_responses += 1
+                self._throttled_ids.add(rid)
+            else:
+                # Transient failure (device error): leave the request
+                # unanswered so the retry loop re-sends it.
+                self.error_responses += 1
             return
         self._answered.add(rid)
+        if self.retry_budget is not None:
+            self.retry_budget.on_success()
         issued = self._issue_times.pop(rid, None)
         if issued is not None:
             # Issue times are per-attempt: this measures the attempt
@@ -318,6 +343,7 @@ class WorkloadClient:
     ) -> Generator:
         """Send one message; re-send unanswered requests with backoff."""
         policy = self.retry_policy
+        budget = self.retry_budget
         pending = list(requests)
         for attempt in range(policy.max_attempts):
             pending = [
@@ -326,6 +352,21 @@ class WorkloadClient:
             if not pending:
                 release()
                 return
+            if attempt and budget is not None:
+                # Every re-send must win a budget token; refused
+                # requests fail fast instead of joining a retry storm.
+                granted = []
+                for request in pending:
+                    if budget.try_spend():
+                        granted.append(request)
+                    else:
+                        self.budget_denied += 1
+                        self._give_up(request)
+                pending = granted
+                if not pending:
+                    self._check_finished()
+                    release()
+                    return
             now = self.env.now
             for request in pending:
                 self._issue_times[request.request_id] = now
@@ -346,16 +387,30 @@ class WorkloadClient:
                 release()
                 return
             if attempt + 1 < policy.max_attempts:
-                yield self.env.timeout(policy.backoff(attempt, self.rng))
+                delay = policy.backoff(attempt, self.rng)
+                if any(
+                    r.request_id in self._throttled_ids for r in pending
+                ):
+                    # The server shed at least one of these: cooperate
+                    # by backing off harder than for a silent loss.
+                    delay *= policy.throttle_backoff_factor
+                    for request in pending:
+                        self._throttled_ids.discard(request.request_id)
+                yield self.env.timeout(delay)
         for request in pending:
-            self._failed.add(request.request_id)
-            self._issue_times.pop(request.request_id, None)
-            self._requests_by_id.pop(request.request_id, None)
-            if self.observer is not None:
-                self.observer.on_give_up(request)
-        self.failed_requests += len(pending)
+            self._give_up(request)
         self._check_finished()
         release()
+
+    def _give_up(self, request: IoRequest) -> None:
+        """Settle one request as failed (budget denial or attempts out)."""
+        self._failed.add(request.request_id)
+        self._issue_times.pop(request.request_id, None)
+        self._requests_by_id.pop(request.request_id, None)
+        self._throttled_ids.discard(request.request_id)
+        if self.observer is not None:
+            self.observer.on_give_up(request)
+        self.failed_requests += 1
 
 
 class DdsClient(WorkloadClient):
@@ -377,6 +432,7 @@ class DdsClient(WorkloadClient):
         request_factory=None,
         retry_policy: Optional[RetryPolicy] = None,
         observer=None,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         super().__init__(
             env,
@@ -386,4 +442,5 @@ class DdsClient(WorkloadClient):
             request_factory,
             retry_policy=retry_policy or RetryPolicy(),
             observer=observer,
+            retry_budget=retry_budget,
         )

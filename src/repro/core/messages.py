@@ -24,6 +24,7 @@ from typing import Optional
 
 __all__ = [
     "OpCode",
+    "ResponseStatus",
     "IoRequest",
     "IoResponse",
     "REQUEST_HEADER",
@@ -46,6 +47,11 @@ class ResponseStatus(IntEnum):
 
     OK = 0
     ERROR = 1
+    #: Backpressure: the server shed this request before executing it
+    #: (admission control or queue overflow).  Distinct from ``ERROR``
+    #: so clients can cooperate — back off harder instead of retrying
+    #: into a saturated server.
+    THROTTLED = 2
 
 
 @dataclass
@@ -110,6 +116,9 @@ class IoResponse:
     request_id: int
     ok: bool
     data: Optional[bytes] = field(default=None, repr=False)
+    #: True when the server refused the request under overload (shed at
+    #: admission or dropped from a bounded queue) — always ``ok=False``.
+    throttled: bool = False
 
     @property
     def wire_size(self) -> int:
@@ -118,7 +127,12 @@ class IoResponse:
     def encode(self) -> bytes:
         """Serialize: response header, then read data when present."""
         size = len(self.data) if self.data else 0
-        status = ResponseStatus.OK if self.ok else ResponseStatus.ERROR
+        if self.ok:
+            status = ResponseStatus.OK
+        elif self.throttled:
+            status = ResponseStatus.THROTTLED
+        else:
+            status = ResponseStatus.ERROR
         header = RESPONSE_HEADER.pack(self.request_id, int(status), size)
         return header + (self.data or b"")
 
@@ -130,8 +144,10 @@ class IoResponse:
         payload = data[RESPONSE_HEADER.size : RESPONSE_HEADER.size + size]
         if len(payload) != size:
             raise ValueError("truncated response payload")
+        parsed = ResponseStatus(status)
         return cls(
             request_id,
-            ResponseStatus(status) is ResponseStatus.OK,
+            parsed is ResponseStatus.OK,
             payload if size else None,
+            throttled=parsed is ResponseStatus.THROTTLED,
         )

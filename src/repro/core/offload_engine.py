@@ -201,11 +201,20 @@ class OffloadEngine:
     def in_flight(self) -> int:
         return self._tail.load() - self._head.load()
 
-    def handle(self, request: IoRequest, respond: Callable) -> Generator:
+    def handle(
+        self,
+        request: IoRequest,
+        respond: Callable,
+        on_bounce: Optional[Callable[[str], None]] = None,
+    ) -> Generator:
         """Try to execute ``request`` on the DPU; False -> host fallback.
 
         ``respond(IoResponse)`` is invoked (via the traffic director) when
         this request's turn at the head of the context ring comes up.
+        ``on_bounce`` (optional) is called synchronously with the bounce
+        kind — ``"off-func"`` (policy declined), ``"no-buffer"`` or
+        ``"ring-full"`` (capacity) — so the caller can tell a saturated
+        engine from one that simply does not want the request.
         """
         if self._crashed:
             return False  # dead engine: no cost, immediate host fallback
@@ -217,10 +226,14 @@ class OffloadEngine:
         read_op = self.callbacks.off_func(request, self.cache_table)
         if read_op is None:
             self._bounced_off_func.fetch_add(1)
+            if on_bounce is not None:
+                on_bounce("off-func")
             return False
         buffer = self.pool.allocate(max(1, read_op.size))
         if buffer is None:
             self._bounced_no_buffer.fetch_add(1)
+            if on_bounce is not None:
+                on_bounce("no-buffer")
             return False
         # The capacity check and the slot insert must not be separated
         # by a simulation yield: concurrent handle() calls would
@@ -230,6 +243,8 @@ class OffloadEngine:
         if self.in_flight >= self.context_slots:
             self._bounced_ring_full.fetch_add(1)
             buffer.release()
+            if on_bounce is not None:
+                on_bounce("ring-full")
             return False
         context = Context(request, read_op, buffer, respond)
         tail = self._tail.fetch_add(1)

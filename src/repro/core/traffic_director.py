@@ -255,14 +255,21 @@ class TrafficDirector:
             if self.engine is not None and (
                 self.breaker is None or self.breaker.allow()
             ):
-                accepted = yield from self.engine.handle(request, wrapped)
+                bounce: List[str] = []
+                accepted = yield from self.engine.handle(
+                    request, wrapped, on_bounce=bounce.append
+                )
                 if self.breaker is not None:
                     if accepted:
                         self.breaker.record_success()
                     elif self.engine.crashed:
-                        # Only crash-induced rejections trip the breaker;
-                        # ordinary capacity bounces are healthy behaviour.
+                        # Crash-induced rejections trip the breaker.
                         self.breaker.record_failure()
+                    elif bounce and bounce[0] != "off-func":
+                        # Capacity bounce (ring/buffers full): saturation,
+                        # not failure — an opt-in threshold decides
+                        # whether a streak of these opens the breaker.
+                        self.breaker.record_saturation()
             if accepted:
                 self.requests_offloaded += 1
             else:

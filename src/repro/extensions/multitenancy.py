@@ -103,6 +103,30 @@ class DrrScheduler:
         self._wakeup.try_put(True)
         return grant
 
+    def add_tenant(self, tenant: str, weight: float = 1.0) -> None:
+        """Admit a new tenant mid-run with a fresh queue and zero
+        deficit (no credit for time before it existed)."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if tenant in self._queues:
+            raise ValueError(f"tenant already registered: {tenant!r}")
+        self.tenants.append(tenant)
+        self.weights[tenant] = weight
+        self.stats[tenant] = TenantStats()
+        self._queues[tenant] = deque()
+        self._deficits[tenant] = 0.0
+
+    def remove_tenant(self, tenant: str) -> int:
+        """Retire a tenant; returns how many queued requests were
+        dropped (their grant events never fire).  Stats are kept."""
+        if tenant not in self._queues:
+            raise ValueError(f"unknown tenant: {tenant!r}")
+        dropped = len(self._queues.pop(tenant))
+        self.tenants.remove(tenant)
+        self.weights.pop(tenant)
+        self._deficits.pop(tenant)
+        return dropped
+
     @property
     def backlog(self) -> int:
         if self.fifo:
@@ -129,21 +153,35 @@ class DrrScheduler:
                     tenant, cost, grant, submitted, service
                 )
                 continue
-            # One DRR round over tenants with queued work.
-            for tenant in self.tenants:
-                queue = self._queues[tenant]
+            # One DRR round over tenants with queued work.  Snapshot
+            # the roster: service generators may add or remove tenants
+            # mid-round (removed ones are skipped via the .get guard,
+            # added ones wait for the next round).
+            for tenant in list(self.tenants):
+                queue = self._queues.get(tenant)
+                if queue is None:
+                    continue
                 if not queue:
                     self._deficits[tenant] = 0.0  # no banking while idle
                     continue
                 self._deficits[tenant] += (
                     self.quantum_bytes * self.weights[tenant]
                 )
-                while queue and queue[0][1] <= self._deficits[tenant]:
+                while (
+                    queue
+                    and tenant in self._queues  # not removed mid-burst
+                    and queue[0][1] <= self._deficits[tenant]
+                ):
                     _tenant, cost, grant, submitted = queue.popleft()
                     self._deficits[tenant] -= cost
                     yield from self._dispatch(
                         tenant, cost, grant, submitted, service
                     )
+                if not queue and tenant in self._deficits:
+                    # Forfeit leftover credit the moment the backlog
+                    # empties — not at the next busy round — so an idle
+                    # stretch can never bank a quantum remainder.
+                    self._deficits[tenant] = 0.0
 
     def _dispatch(
         self, tenant, cost, grant, submitted, service

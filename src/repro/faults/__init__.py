@@ -22,6 +22,7 @@ from .durability import (
 )
 from .injector import FaultInjector
 from .netem import NetworkChaos
+from .overload import OverloadInvariantChecker, OverloadReport
 from .plan import (
     EngineCrash,
     FaultEvent,
@@ -44,6 +45,8 @@ __all__ = [
     "InvariantViolation",
     "NetworkChaos",
     "NicFault",
+    "OverloadInvariantChecker",
+    "OverloadReport",
     "ReplicationInvariantChecker",
     "ShardKill",
     "SsdErrorBurst",

@@ -308,6 +308,9 @@ class ShardedSteering(Stage):
         self._failovers = AtomicCounter(0)
         self._dropped = AtomicCounter(0)
         self._lock = threading.Lock()
+        #: Installed by :meth:`ShardedOffloadServer.enable_qos`; None
+        #: keeps steering byte-identical to the ungated datapath.
+        self.qos = None
 
     def on_shard_added(self, shard: OffloadShard) -> None:
         """Open ingress to a freshly wired shard (counters included)."""
@@ -374,6 +377,21 @@ class ShardedSteering(Stage):
         requests: Sequence[IoRequest],
         respond: Callable,
     ) -> Generator:
+        if self.qos is not None:
+            # QoS front end: admission + bounded tenant queues; the DRR
+            # dispatcher re-enters via steer_direct.  Intake never
+            # blocks, so ingress sees backpressure as responses, not
+            # queueing.
+            self.qos.intake(flow, requests, respond)
+            return
+        yield from self.steer_direct(flow, requests, respond)
+
+    def steer_direct(
+        self,
+        flow: FiveTuple,
+        requests: Sequence[IoRequest],
+        respond: Callable,
+    ) -> Generator:
         ingress = self._ingress
         shard_index = flow_shard(flow, len(ingress))
         shard = ingress[shard_index]
@@ -435,6 +453,9 @@ class ShardedOffloadServer(PipelineServer):
         #: :meth:`enable_pushdown`; empty until then (no new stages, no
         #: new cores — the plain datapath is untouched).
         self.pushdown_stages: Dict[int, PushdownExecution] = {}
+        #: Installed by :meth:`enable_qos`; None keeps ingress steering
+        #: byte-identical to the ungated deployment.
+        self.qos = None
         # Shard construction parameters, kept so add_shard builds new
         # shards exactly like construction-time ones.
         self._signature = signature
@@ -443,7 +464,9 @@ class ShardedOffloadServer(PipelineServer):
         self._context_slots = context_slots
         self._copy_mode = copy_mode
         self._rdma_transport = rdma_transport
-        self._breaker_config: Optional[Tuple[int, float]] = None
+        self._breaker_config: Optional[
+            Tuple[int, float, Optional[int]]
+        ] = None
         #: Shard 0 serves the caller's filesystem; other shards get a
         #: mirrored namespace on their own SSD.
         self.filesystems = [filesystem] + [
@@ -603,11 +626,16 @@ class ShardedOffloadServer(PipelineServer):
         shard.backend.start()
         if self.dedup is not None:
             shard.director.dedup = self.dedup
-            threshold, recovery = self._breaker_config or (4, 500e-6)
+            threshold, recovery, saturation = self._breaker_config or (
+                4,
+                500e-6,
+                None,
+            )
             shard.director.breaker = CircuitBreaker(
                 self.env,
                 failure_threshold=threshold,
                 recovery_time=recovery,
+                saturation_threshold=saturation,
             )
         if self.replicator is not None:
             shard.director.route = self.replicator.leader_of
@@ -792,6 +820,38 @@ class ShardedOffloadServer(PipelineServer):
         )
 
     # ------------------------------------------------------------------
+    # overload QoS: admission, bounded tenant queues, fair dispatch
+    # ------------------------------------------------------------------
+    def enable_qos(self, config=None, checker=None):
+        """Install the tenant QoS gate at ingress (DESIGN §15).
+
+        Client messages then pass admission control (token buckets) and
+        per-tenant bounded queues, and reach the shard directors via
+        weighted-fair DRR dispatch; excess load is shed with explicit
+        THROTTLED responses instead of growing invisible queues.
+        ``checker`` (an :class:`~repro.faults.overload.
+        OverloadInvariantChecker`) receives every enqueue, shed, and
+        dispatch synchronously.  Returns the installed
+        :class:`~repro.topology.qos.TenantQosGate`.
+        """
+        from .qos import QosConfig, TenantQosGate
+
+        if self.qos is not None:
+            raise RuntimeError("QoS is already enabled")
+        gate = TenantQosGate(
+            self.env,
+            config or QosConfig(),
+            self._steering.steer_direct,
+            dedup_source=lambda: self.dedup,
+            observer=checker,
+        )
+        self.qos = gate
+        self._steering.qos = gate
+        with self._topology_lock:
+            self._stages.append(gate)
+        return gate
+
+    # ------------------------------------------------------------------
     # resilience: dedup/breakers, crash, and crash-consistent recovery
     # ------------------------------------------------------------------
     def enable_resilience(
@@ -799,18 +859,28 @@ class ShardedOffloadServer(PipelineServer):
         dedup_capacity: int = 1 << 16,
         breaker_threshold: int = 4,
         breaker_recovery: float = 500e-6,
+        breaker_saturation: Optional[int] = None,
     ) -> RequestDedup:
         """One dedup table shared by all directors (a retry may land on
         a different ingress director after failover), plus one circuit
-        breaker per director/engine pair."""
+        breaker per director/engine pair.  ``breaker_saturation`` (off
+        by default) additionally opens a breaker after that many
+        consecutive capacity bounces, so a saturated-but-alive engine
+        sheds intake work to the host path instead of being probed on
+        every request."""
         dedup = super().enable_resilience(dedup_capacity)
-        self._breaker_config = (breaker_threshold, breaker_recovery)
+        self._breaker_config = (
+            breaker_threshold,
+            breaker_recovery,
+            breaker_saturation,
+        )
         for shard in self.shards:
             shard.director.dedup = dedup
             shard.director.breaker = CircuitBreaker(
                 self.env,
                 failure_threshold=breaker_threshold,
                 recovery_time=breaker_recovery,
+                saturation_threshold=breaker_saturation,
             )
         return dedup
 

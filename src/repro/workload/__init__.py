@@ -1,0 +1,60 @@
+"""Open-loop traffic generation at population scale (ROADMAP item 3).
+
+The package that turns "a handful of closed-loop benchmark clients"
+into "heavy traffic from millions of users": arrival processes (Poisson
+and self-similar), time-varying rate curves (diurnal cycles, flash
+crowds), Zipf-skewed file popularity, and heavy-tailed multi-tenant
+populations — all driven by :class:`~repro.sim.rng.SeededRng`, so any
+run replays deterministically from its seed.
+
+Quickstart::
+
+    from repro.workload import (
+        FlashCrowd, OpenLoopTrafficEngine, heavy_tailed_population,
+    )
+
+    tenants = heavy_tailed_population(
+        count=200, total_rate=150_000.0, rng=SeededRng(7)
+    )
+    engine = OpenLoopTrafficEngine(
+        env, server, tenants, file_ids,
+        horizon=40e-3, events=(FlashCrowd(start=10e-3, duration=10e-3),),
+    )
+    result = engine.run()
+    print(result.acked, result.goodput_curve(bucket=1e-3))
+
+The engine is *open loop*: arrivals fire on the tenant's clock whether
+or not earlier requests completed, which is exactly the regime where
+retry storms and metastable collapse appear (and what the QoS gate in
+:mod:`repro.topology.qos` defends against).
+"""
+
+from .arrivals import (
+    BModelArrivals,
+    DiurnalCurve,
+    FlashCrowd,
+    OnOffArrivals,
+    PoissonArrivals,
+    RateCurve,
+)
+from .engine import OpenLoopTrafficEngine, TenantOutcome, TrafficResult
+from .tenants import (
+    TenantSpec,
+    heavy_tailed_population,
+    population_users,
+)
+
+__all__ = [
+    "BModelArrivals",
+    "DiurnalCurve",
+    "FlashCrowd",
+    "OnOffArrivals",
+    "OpenLoopTrafficEngine",
+    "PoissonArrivals",
+    "RateCurve",
+    "TenantOutcome",
+    "TenantSpec",
+    "TrafficResult",
+    "heavy_tailed_population",
+    "population_users",
+]

@@ -1,0 +1,437 @@
+"""The open-loop traffic engine: population-scale load against a server.
+
+One simulation process per tenant walks that tenant's arrival stream
+(:mod:`repro.workload.arrivals`) and fires each request the moment its
+arrival time comes up — *without* waiting for earlier requests to
+complete.  That open loop is the defining property: a saturated server
+does not slow the offered load down, it just grows queues, times out
+clients, and (without defenses) breeds retry storms.  Closed-loop
+clients physically cannot produce that regime, which is why every
+pre-overload bench missed it.
+
+Retries follow the same :class:`~repro.core.retry.RetryPolicy` contract
+as :class:`~repro.core.client.DdsClient` — per-attempt timeout,
+exponential backoff with seeded jitter, harder backoff after an
+explicit THROTTLED shed — and an optional shared
+:class:`~repro.core.retry.RetryBudget` caps the aggregate retry volume
+across the whole population.
+
+Determinism: every draw (arrival gaps, file popularity, offsets,
+backoff jitter) comes from per-tenant streams spawned off one seed, so
+a run is replayable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from ..core.messages import IoRequest, IoResponse, OpCode
+from ..hardware.cpu import CpuPool
+from ..hardware.specs import HOST_CPU
+from ..net.packet import FiveTuple
+from ..sim import Environment, SeededRng, ZipfGenerator
+from .arrivals import DiurnalCurve, FlashCrowd, RateCurve
+from .tenants import TenantSpec, population_users
+
+__all__ = ["OpenLoopTrafficEngine", "TenantOutcome", "TrafficResult"]
+
+
+@dataclass
+class TenantOutcome:
+    """One tenant's measured slice of a traffic run."""
+
+    name: str
+    offered: int = 0
+    acked: int = 0
+    failed: int = 0
+    throttled: int = 0
+    retries: int = 0
+    latencies: List[float] = field(default_factory=list, repr=False)
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(
+            len(ordered) - 1, max(0, int(round(p / 100 * len(ordered))) - 1)
+        )
+        return ordered[index]
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+@dataclass
+class TrafficResult:
+    """Aggregate outcome of one engine run."""
+
+    elapsed: float
+    users: int
+    offered: int = 0
+    acked: int = 0
+    failed: int = 0
+    throttled_responses: int = 0
+    retries: int = 0
+    budget_denied: int = 0
+    duplicates: int = 0
+    errors: int = 0
+    #: Acks that arrived after the client had already given up.
+    late_acks: int = 0
+    ack_times: List[float] = field(default_factory=list, repr=False)
+    tenants: Dict[str, TenantOutcome] = field(default_factory=dict)
+
+    @property
+    def goodput(self) -> float:
+        """Client-perceived acked throughput (unique acks / elapsed)."""
+        return self.acked / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def amplification(self) -> float:
+        """Messages sent per demanded request (1.0 = no retries)."""
+        if self.offered == 0:
+            return 0.0
+        return (self.offered + self.retries) / self.offered
+
+    def goodput_curve(self, bucket: float = 1e-3) -> List[float]:
+        """Acked IOPS per ``bucket``-second window since run start."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        if not self.ack_times:
+            return []
+        buckets = int(self.elapsed / bucket) + 1
+        counts = [0] * buckets
+        for t in self.ack_times:
+            index = int(t / bucket)
+            if 0 <= index < buckets:
+                counts[index] += 1
+        return [count / bucket for count in counts]
+
+    def percentile(self, p: float) -> float:
+        """Population-wide latency percentile."""
+        merged: List[float] = []
+        for outcome in self.tenants.values():
+            merged.extend(outcome.latencies)
+        if not merged:
+            return 0.0
+        merged.sort()
+        index = min(
+            len(merged) - 1, max(0, int(round(p / 100 * len(merged))) - 1)
+        )
+        return merged[index]
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+class _TenantState:
+    """Per-tenant runtime: RNG streams, flow identity, popularity."""
+
+    __slots__ = ("spec", "rng", "flow", "zipf", "curve", "outcome")
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        rng: SeededRng,
+        flow: FiveTuple,
+        zipf: Optional[ZipfGenerator],
+        curve: RateCurve,
+    ) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.flow = flow
+        self.zipf = zipf
+        self.curve = curve
+        self.outcome = TenantOutcome(spec.name)
+
+
+class OpenLoopTrafficEngine:
+    """Drive a tenant population against a storage server, open loop.
+
+    ``diurnal`` and ``events`` modulate *every* tenant's base rate (the
+    flash crowd hits the whole population, as real ones do).  With a
+    ``retry_policy`` each request is retried like a chaos client's;
+    ``retry_budget`` (shared across all tenants) bounds the storm.
+    ``observer`` speaks the client-observer protocol
+    (``on_issue``/``on_ack``/``on_give_up``) — wire the
+    :class:`~repro.faults.overload.OverloadInvariantChecker` here.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        server,
+        tenants: Sequence[TenantSpec],
+        file_ids: Sequence[int],
+        horizon: float,
+        io_size: int = 1024,
+        file_bytes: int = 1 << 20,
+        seed: int = 11,
+        diurnal: Optional[DiurnalCurve] = None,
+        events: Sequence[FlashCrowd] = (),
+        retry_policy=None,
+        retry_budget=None,
+        observer=None,
+        drain: float = 5e-3,
+        id_base: int = 1,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        if not file_ids:
+            raise ValueError("need at least one file id")
+        self.env = env
+        self.server = server
+        self.horizon = horizon
+        self.io_size = io_size
+        self.file_bytes = file_bytes
+        self.drain = drain
+        self.retry_policy = retry_policy
+        self.retry_budget = retry_budget
+        self.observer = observer
+        self.rng = SeededRng(seed)
+        self.client_pool = CpuPool(env, HOST_CPU, name="traffic-engine")
+        self._file_ids = list(file_ids)
+        self._slots = max(1, file_bytes // io_size)
+        self._next_id = id_base
+        self._started = False
+        self._start_time = 0.0
+        # aggregate counters
+        self.offered = 0
+        self.acked = 0
+        self.failed = 0
+        self.throttled_responses = 0
+        self.retries = 0
+        self.budget_denied = 0
+        self.duplicates = 0
+        self.errors = 0
+        self.late_acks = 0
+        self.ack_times: List[float] = []
+        self._states: List[_TenantState] = []
+        self._flow_tenants: Dict[object, str] = {}
+        self._specs_by_name: Dict[str, TenantSpec] = {}
+        for spec in tenants:
+            state = self._build_state(spec, diurnal, events)
+            self._states.append(state)
+            self._specs_by_name[spec.name] = spec
+
+    def _build_state(
+        self,
+        spec: TenantSpec,
+        diurnal: Optional[DiurnalCurve],
+        events: Sequence[FlashCrowd],
+    ) -> _TenantState:
+        rng = self.rng.spawn(spec.name)
+        # One flow per tenant, unique endpoint: the QoS gate classifies
+        # tenants by client endpoint, and RSS spreads them over shards.
+        index = spec.index
+        flow = FiveTuple(
+            f"10.{(index >> 8) & 255}.{index & 255}.2",
+            40_000 + (index % 20_000),
+            "10.0.0.1",
+            5000,
+        )
+        self._flow_tenants[(flow.client_ip, flow.client_port)] = spec.name
+        zipf = None
+        if spec.zipf_theta > 0 and len(self._file_ids) > 1:
+            zipf = ZipfGenerator(
+                len(self._file_ids), theta=spec.zipf_theta, rng=rng
+            )
+        curve = RateCurve(spec.rate, diurnal=diurnal, events=events)
+        return _TenantState(spec, rng, flow, zipf, curve)
+
+    # ------------------------------------------------------------------
+    # tenant classification (for the QoS gate and the checker)
+    # ------------------------------------------------------------------
+    def tenant_for_flow(self, flow: FiveTuple) -> str:
+        """Flow → tenant name; pass as ``QosConfig.tenant_of``."""
+        return self._flow_tenants.get(
+            (flow.client_ip, flow.client_port),
+            f"{flow.client_ip}:{flow.client_port}",
+        )
+
+    def tenant_for_request(self, request: IoRequest) -> str:
+        """Request → tenant name (requests are tagged with the tenant
+        index); pass as the checker's ``tenant_of``."""
+        index = request.tag
+        if 0 <= index < len(self._states):
+            return self._states[index].spec.name
+        return f"tenant-{index}"
+
+    # ------------------------------------------------------------------
+    # request generation
+    # ------------------------------------------------------------------
+    def _make_request(self, state: _TenantState) -> IoRequest:
+        spec = state.spec
+        rng = state.rng
+        if state.zipf is not None:
+            # Per-tenant rotation: every tenant is Zipf-skewed, but
+            # their hottest files differ, so population heat spreads.
+            index = (state.zipf.draw() + spec.index) % len(self._file_ids)
+        else:
+            index = rng.randrange(len(self._file_ids))
+        file_id = self._file_ids[index]
+        offset = rng.randrange(self._slots) * self.io_size
+        request_id = self._next_id
+        self._next_id += 1
+        if rng.random() < spec.read_fraction:
+            return IoRequest(
+                OpCode.READ,
+                request_id,
+                file_id,
+                offset,
+                self.io_size,
+                tag=spec.index,
+            )
+        return IoRequest(
+            OpCode.WRITE,
+            request_id,
+            file_id,
+            offset,
+            self.io_size,
+            bytes(self.io_size),
+            tag=spec.index,
+        )
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn all tenant processes (for callers that drive
+        ``env.run`` themselves, e.g. to inject faults mid-run)."""
+        if self._started:
+            raise RuntimeError("engine already started")
+        self._started = True
+        self._start_time = self.env.now
+        for state in self._states:
+            self.env.process(self._tenant_loop(state))
+
+    def run(self) -> TrafficResult:
+        """Start, simulate through horizon + drain, and report."""
+        self.start()
+        self.env.run(
+            until=self.env.timeout(self.horizon + self.drain)
+        )
+        return self.results()
+
+    def results(self) -> TrafficResult:
+        elapsed = self.env.now - self._start_time
+        result = TrafficResult(
+            elapsed=elapsed,
+            users=population_users(
+                [state.spec for state in self._states]
+            ),
+            offered=self.offered,
+            acked=self.acked,
+            failed=self.failed,
+            throttled_responses=self.throttled_responses,
+            retries=self.retries,
+            budget_denied=self.budget_denied,
+            duplicates=self.duplicates,
+            errors=self.errors,
+            late_acks=self.late_acks,
+            ack_times=list(self.ack_times),
+        )
+        for state in self._states:
+            result.tenants[state.spec.name] = state.outcome
+        return result
+
+    def _tenant_loop(self, state: _TenantState) -> Generator:
+        start = self._start_time
+        arrivals = state.spec.arrivals.arrivals(
+            state.rng.spawn("arrivals"), state.curve, self.horizon
+        )
+        for t in arrivals:
+            gap = start + t - self.env.now
+            if gap > 0:
+                yield self.env.timeout(gap)
+            request = self._make_request(state)
+            self.offered += 1
+            state.outcome.offered += 1
+            if self.observer is not None:
+                self.observer.on_issue(request)
+            # Open loop: the delivery (and its retries) runs on its own
+            # process; the arrival clock never waits for it.
+            self.env.process(self._deliver(state, request))
+
+    def _deliver(
+        self, state: _TenantState, request: IoRequest
+    ) -> Generator:
+        policy = self.retry_policy
+        budget = self.retry_budget
+        spec = self.server.client_spec
+        outcome = state.outcome
+        issued = self.env.now
+        status = {"acked": False, "settled": False, "throttled": False}
+
+        def on_response(response: IoResponse) -> None:
+            if status["acked"]:
+                self.duplicates += 1
+                return
+            if response.ok:
+                status["acked"] = True
+                if status["settled"]:
+                    self.late_acks += 1
+                    return
+                latency = self.env.now - issued
+                outcome.latencies.append(latency)
+                outcome.acked += 1
+                self.acked += 1
+                self.ack_times.append(self.env.now - self._start_time)
+                if budget is not None:
+                    budget.on_success()
+                if self.observer is not None:
+                    self.observer.on_ack(request, response)
+                signal = status.get("signal")
+                if signal is not None and not signal.triggered:
+                    signal.succeed()
+            elif response.throttled:
+                self.throttled_responses += 1
+                outcome.throttled += 1
+                status["throttled"] = True
+                signal = status.get("signal")
+                if signal is not None and not signal.triggered:
+                    signal.succeed()
+            else:
+                self.errors += 1
+
+        attempts = policy.max_attempts if policy is not None else 1
+        for attempt in range(attempts):
+            if status["acked"]:
+                break
+            if attempt:
+                if budget is not None and not budget.try_spend():
+                    self.budget_denied += 1
+                    break
+                self.retries += 1
+                outcome.retries += 1
+            status["throttled"] = False
+            signal = self.env.event()
+            status["signal"] = signal
+            self.client_pool.charge(
+                spec.per_message_core_time
+                + request.wire_size * spec.per_byte_core_time
+            )
+            self.server.submit(state.flow, [request], on_response)
+            if policy is None:
+                return
+            timeout = self.env.timeout(policy.timeout)
+            yield self.env.any_of([signal, timeout])
+            if status["acked"]:
+                break
+            if attempt + 1 < attempts:
+                delay = policy.backoff(attempt, state.rng)
+                if status["throttled"]:
+                    # The server said THROTTLED: cooperate, back off
+                    # harder than for a silent loss.
+                    delay *= policy.throttle_backoff_factor
+                yield self.env.timeout(delay)
+        status["settled"] = True
+        if not status["acked"]:
+            self.failed += 1
+            outcome.failed += 1
+            if self.observer is not None:
+                self.observer.on_give_up(request)

@@ -1,0 +1,155 @@
+"""DRR edge cases: deficit banking, sub-quantum progress, live roster.
+
+These pin down the scheduler behaviours that only matter at the
+margins — exactly the ones a refactor silently breaks.
+"""
+
+import pytest
+
+from repro.extensions.multitenancy import DrrScheduler
+from repro.sim import Environment
+
+
+REQUEST = 4096
+
+
+def make_scheduler(env, tenants, quantum=8192, weights=None):
+    drr = DrrScheduler(env, tenants, quantum_bytes=quantum, weights=weights)
+
+    def service(_tenant, _cost):
+        yield env.timeout(10e-6)
+
+    drr.run(service)
+    return drr
+
+
+class TestDeficitBanking:
+    def test_idle_tenant_forfeits_deficit(self):
+        """A tenant with no backlog must not bank quanta: when it
+        returns after idling, it competes from zero credit."""
+        env = Environment()
+        drr = make_scheduler(env, ["idler", "worker"])
+
+        def load():
+            # The worker churns for many rounds while the idler sleeps.
+            for _ in range(50):
+                drr.submit("worker", REQUEST)
+            yield env.timeout(2e-3)
+            # Were deficits banked while idle, the idler would now hold
+            # ~dozens of quanta of credit.
+            assert drr._deficits["idler"] == 0.0
+            drr.submit("idler", REQUEST)
+
+        env.process(load())
+        env.run(until=env.timeout(5e-3))
+        assert drr._deficits["idler"] <= drr.quantum_bytes
+        assert drr.stats["idler"].dispatched == 1
+
+    def test_emptied_queue_resets_running_deficit(self):
+        env = Environment()
+        drr = make_scheduler(env, ["a"])
+        for _ in range(3):
+            drr.submit("a", REQUEST)
+        env.run(until=env.timeout(2e-3))
+        assert drr.stats["a"].dispatched == 3
+        # Leftover credit from the final round was forfeited with the
+        # backlog (checked after at least one idle round has run).
+        assert drr._deficits["a"] == 0.0
+
+
+class TestSubQuantumProgress:
+    def test_oversized_request_accumulates_credit(self):
+        """A request costing several quanta must still dispatch — the
+        deficit accumulates across rounds rather than livelocking."""
+        env = Environment()
+        drr = make_scheduler(env, ["big", "small"], quantum=1024)
+        drr.submit("big", 5 * 1024)  # five rounds of credit needed
+        for _ in range(10):
+            drr.submit("small", 512)
+        env.run(until=env.timeout(5e-3))
+        assert drr.stats["big"].dispatched == 1
+        assert drr.stats["small"].dispatched == 10
+
+    def test_small_requests_progress_alongside_giant(self):
+        """While the giant accumulates credit, small tenants keep
+        dispatching every round (no head-of-line across tenants)."""
+        env = Environment()
+        drr = make_scheduler(env, ["big", "small"], quantum=1024)
+        drr.submit("big", 20 * 1024)
+        grant = drr.submit("small", 256)
+        env.run(until=env.timeout(1e-3))
+        assert grant.triggered  # small went first, long before
+        assert drr.stats["small"].dispatched == 1
+
+
+class TestLiveRoster:
+    def test_added_tenant_starts_with_zero_deficit(self):
+        env = Environment()
+        drr = make_scheduler(env, ["a"])
+        for _ in range(20):
+            drr.submit("a", REQUEST)
+        env.run(until=env.timeout(0.5e-3))
+        drr.add_tenant("b", weight=1.0)
+        assert drr._deficits["b"] == 0.0
+        for _ in range(20):
+            drr.submit("b", REQUEST)
+        env.run(until=env.timeout(5e-3))
+        assert drr.stats["b"].dispatched == 20
+
+    def test_add_remove_byte_fairness(self):
+        """Equal-weight tenants dispatch ~equal bytes over the window
+        in which both are present, including one added mid-run."""
+        env = Environment()
+        drr = make_scheduler(env, ["a", "b"])
+
+        def feed(tenant, start=0.0):
+            def proc():
+                yield env.timeout(start)
+                while env.now < 8e-3:
+                    drr.submit(tenant, REQUEST)
+                    yield env.timeout(5e-6)
+
+            env.process(proc())
+
+        feed("a")
+        feed("b")
+
+        def join_late():
+            yield env.timeout(2e-3)
+            drr.add_tenant("c")
+            while env.now < 8e-3:
+                drr.submit("c", REQUEST)
+                yield env.timeout(5e-6)
+
+        env.process(join_late())
+        env.run(until=env.timeout(8e-3))
+        a, b, c = (drr.stats[t].bytes_dispatched for t in "abc")
+        assert a == pytest.approx(b, rel=0.15)
+        # c joined a quarter of the way in: it gets an equal share of
+        # the remaining window, so ~3/4 of the incumbents' bytes.
+        assert c == pytest.approx(0.75 * a, rel=0.25)
+
+    def test_removed_tenant_drops_backlog_and_stops(self):
+        env = Environment()
+        drr = make_scheduler(env, ["keep", "gone"])
+        for _ in range(5):
+            drr.submit("keep", REQUEST)
+            drr.submit("gone", REQUEST)
+        dropped = drr.remove_tenant("gone")
+        assert dropped == 5
+        env.run(until=env.timeout(5e-3))
+        assert drr.stats["keep"].dispatched == 5
+        assert drr.stats["gone"].dispatched == 0
+        assert drr.backlog == 0
+        with pytest.raises(ValueError):
+            drr.submit("gone", REQUEST)
+
+    def test_remove_unknown_and_double_add_raise(self):
+        env = Environment()
+        drr = make_scheduler(env, ["a"])
+        with pytest.raises(ValueError):
+            drr.remove_tenant("nope")
+        with pytest.raises(ValueError):
+            drr.add_tenant("a")
+        with pytest.raises(ValueError):
+            drr.add_tenant("b", weight=0.0)

@@ -23,6 +23,7 @@ EXPECTED = {
     "accelerated_dpu.py",
     "resharding_demo.py",
     "pushdown_demo.py",
+    "overload_demo.py",
 }
 
 
